@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses.
+ *
+ * Each bench binary regenerates one table/figure of the paper's
+ * evaluation (Section 5) and prints the same rows/series. Simulated
+ * instruction budgets scale with the DESC_SIM_SCALE environment
+ * variable (default 1.0).
+ */
+
+#ifndef DESC_BENCH_BENCHUTIL_HH
+#define DESC_BENCH_BENCHUTIL_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/factory.hh"
+#include "sim/experiment.hh"
+
+namespace desc::bench {
+
+/** Default per-thread instruction budget for per-app figures. */
+constexpr std::uint64_t kAppBudget = 40'000;
+
+/** Reduced budget for the large design-space sweeps. */
+constexpr std::uint64_t kSweepBudget = 15'000;
+
+/** Apps used for the widest sweeps (a representative subset). */
+inline std::vector<workloads::AppParams>
+sweepApps()
+{
+    const auto &all = workloads::parallelApps();
+    // Every other application, spanning the zero-rich and dense ends.
+    std::vector<workloads::AppParams> subset;
+    for (std::size_t i = 0; i < all.size(); i += 2)
+        subset.push_back(all[i]);
+    return subset;
+}
+
+/** Run one configured simulation for each parallel app; returns the
+ *  per-app results in figure order. */
+inline std::vector<sim::AppRun>
+runAllApps(const std::function<sim::SystemConfig(
+               const workloads::AppParams &)> &make_cfg,
+           const std::vector<workloads::AppParams> &apps =
+               workloads::parallelApps())
+{
+    std::vector<sim::AppRun> runs;
+    runs.reserve(apps.size());
+    for (const auto &app : apps) {
+        std::fprintf(stderr, "  running %s...\n", app.name);
+        runs.push_back(sim::runApp(make_cfg(app)));
+    }
+    return runs;
+}
+
+} // namespace desc::bench
+
+#endif // DESC_BENCH_BENCHUTIL_HH

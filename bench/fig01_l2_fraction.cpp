@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 1: L2 energy as a fraction of total processor energy for the
+ * sixteen parallel applications on the baseline machine (8MB LSTP L2,
+ * conventional binary encoding). Paper: ~15% on average.
+ */
+
+#include "benchutil.hh"
+
+using namespace desc;
+
+int
+main()
+{
+    auto runs = bench::runAllApps([](const workloads::AppParams &app) {
+        auto cfg = sim::baselineConfig(app);
+        cfg.insts_per_thread = bench::kAppBudget;
+        return cfg;
+    });
+
+    Table t({"app", "L2/processor energy"});
+    std::vector<double> fracs;
+    const auto &apps = workloads::parallelApps();
+    for (std::size_t i = 0; i < apps.size(); i++) {
+        double frac = runs[i].l2.total() / runs[i].processor.total();
+        fracs.push_back(frac);
+        t.row().add(apps[i].name).add(frac, 3);
+    }
+    t.row().add("Geomean").add(geomean(fracs), 3);
+    t.print("Figure 1: L2 energy as a fraction of processor energy "
+            "(paper avg ~0.15)");
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 13: fraction of chunks transferred between the processor and
+ * the L2 that match the previously transmitted chunk on the same
+ * wire, per application. Paper: 39% on average.
+ */
+
+#include "benchutil.hh"
+
+using namespace desc;
+
+int
+main()
+{
+    auto runs = bench::runAllApps([](const workloads::AppParams &app) {
+        auto cfg = sim::baselineConfig(app);
+        cfg.insts_per_thread = bench::kAppBudget;
+        cfg.l2.collect_chunk_stats = true;
+        return cfg;
+    });
+
+    Table t({"app", "matching fraction"});
+    std::vector<double> fracs;
+    const auto &apps = workloads::parallelApps();
+    for (std::size_t i = 0; i < apps.size(); i++) {
+        double f = runs[i].result.chunks.lastValueMatchFraction();
+        fracs.push_back(f);
+        t.row().add(apps[i].name).add(f, 3);
+    }
+    t.row().add("Geomean").add(geomean(fracs), 3);
+    t.print("Figure 13: chunks matching the previous chunk on the same "
+            "wire (paper avg ~0.39)");
+    return 0;
+}

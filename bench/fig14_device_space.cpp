@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 14: design-space exploration over ITRS device types for the
+ * SRAM cells and the peripheral circuitry (all nine cell-periphery
+ * combinations at 8 banks, 64-bit bus). Reports L2 energy, execution
+ * time, and total processor energy, each normalized to the
+ * LSTP-LSTP configuration. Paper: LSTP-LSTP minimizes both energies
+ * at a ~2% execution-time cost over HP devices.
+ */
+
+#include "benchutil.hh"
+
+using namespace desc;
+using energy::Device;
+
+int
+main()
+{
+    const Device devices[3] = {Device::HP, Device::LOP, Device::LSTP};
+    auto apps = bench::sweepApps();
+
+    struct Point
+    {
+        std::string name;
+        double l2_energy, exec_time, proc_energy;
+    };
+    std::vector<Point> points;
+
+    for (Device cell : devices) {
+        for (Device periph : devices) {
+            std::string name = std::string(energy::deviceName(cell))
+                + "-" + energy::deviceName(periph);
+            std::fprintf(stderr, "config %s\n", name.c_str());
+            double l2 = 0, cyc = 0, proc = 0;
+            for (const auto &app : apps) {
+                auto cfg = sim::baselineConfig(app);
+                cfg.insts_per_thread = bench::kSweepBudget;
+                cfg.l2.org.cell_dev = cell;
+                cfg.l2.org.periph_dev = periph;
+                auto run = sim::runApp(cfg);
+                l2 += run.l2.total();
+                cyc += double(run.result.cycles);
+                proc += run.processor.total();
+            }
+            points.push_back(Point{name, l2, cyc, proc});
+        }
+    }
+
+    const Point &base = points.back(); // LSTP-LSTP is the last combo
+    Table t({"cells-periphery", "L2 energy (norm)", "exec time (norm)",
+             "processor energy (norm)"});
+    for (const auto &p : points) {
+        t.row()
+            .add(p.name)
+            .add(p.l2_energy / base.l2_energy, 2)
+            .add(p.exec_time / base.exec_time, 3)
+            .add(p.proc_energy / base.proc_energy, 2);
+    }
+    t.print("Figure 14: device design space, normalized to 8 banks / "
+            "64-bit bus / LSTP-LSTP (paper: HP-HP L2 energy ~300x, "
+            "exec time ~0.98)");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 15: L2 energy of the baseline encodings as a function of the
+ * data segment size (4..64 bits), normalized to conventional binary.
+ * The best configuration of each scheme (the paper's stars) is chosen
+ * as its baseline for the later comparisons.
+ */
+
+#include "benchutil.hh"
+
+using namespace desc;
+using encoding::SchemeKind;
+
+int
+main()
+{
+    const SchemeKind schemes[] = {
+        SchemeKind::DynamicZeroCompression,
+        SchemeKind::BusInvert,
+        SchemeKind::ZeroSkipBusInvert,
+        SchemeKind::EncodedZeroSkipBusInvert,
+    };
+    const unsigned segments[] = {64, 32, 16, 8, 4};
+    auto apps = bench::sweepApps();
+
+    // Binary reference.
+    double binary_energy = 0;
+    for (const auto &app : apps) {
+        auto cfg = sim::baselineConfig(app);
+        cfg.insts_per_thread = bench::kSweepBudget;
+        binary_energy += sim::runApp(cfg).l2.total();
+    }
+
+    Table t({"scheme", "64-bit", "32-bit", "16-bit", "8-bit", "4-bit",
+             "best"});
+    for (SchemeKind kind : schemes) {
+        std::fprintf(stderr, "scheme %s\n",
+                     sim::shortSchemeName(kind).c_str());
+        t.row().add(sim::shortSchemeName(kind));
+        double best = 1e30;
+        unsigned best_seg = 0;
+        std::vector<double> cells;
+        for (unsigned seg : segments) {
+            double e = 0;
+            for (const auto &app : apps) {
+                auto cfg = sim::baselineConfig(app);
+                cfg.insts_per_thread = bench::kSweepBudget;
+                sim::applyScheme(cfg, kind);
+                cfg.l2.scheme_cfg.segment_bits = seg;
+                e += sim::runApp(cfg).l2.total();
+            }
+            double norm = e / binary_energy;
+            cells.push_back(norm);
+            if (norm < best) {
+                best = norm;
+                best_seg = seg;
+            }
+        }
+        for (double c : cells)
+            t.add(c, 3);
+        t.add(std::to_string(best_seg) + "-bit *");
+    }
+    t.print("Figure 15: L2 energy vs segment size, normalized to "
+            "binary encoding (stars mark each scheme's best)");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 22: cache design-space possibilities under conventional
+ * binary and value-skipped DESC — L2 energy vs execution time (both
+ * normalized to the 8-bank / 64-bit / binary baseline) while varying
+ * the data bus width, the number of banks, and (for DESC) the chunk
+ * size. Paper: DESC opens new design points with much lower energy at
+ * little extra delay.
+ */
+
+#include "benchutil.hh"
+
+using namespace desc;
+using encoding::SchemeKind;
+
+int
+main()
+{
+    auto apps = bench::sweepApps();
+
+    auto evaluate = [&](SchemeKind kind, unsigned banks, unsigned wires,
+                        unsigned chunk_bits, double *energy,
+                        double *time) {
+        double e = 0, c = 0;
+        for (const auto &app : apps) {
+            auto cfg = sim::baselineConfig(app);
+            cfg.insts_per_thread = bench::kSweepBudget;
+            sim::applyScheme(cfg, kind);
+            cfg.l2.org.banks = banks;
+            cfg.l2.org.bus_wires = wires;
+            cfg.l2.scheme_cfg.bus_wires = wires;
+            cfg.l2.scheme_cfg.chunk_bits = chunk_bits;
+            auto run = sim::runApp(cfg);
+            e += run.l2.total();
+            c += double(run.result.cycles);
+        }
+        *energy = e;
+        *time = c;
+    };
+
+    double base_e, base_t;
+    evaluate(SchemeKind::Binary, 8, 64, 4, &base_e, &base_t);
+
+    Table t({"scheme", "banks", "wires", "chunk", "L2 energy (norm)",
+             "exec time (norm)"});
+    const unsigned bank_opts[] = {4, 8, 16};
+    const unsigned wire_opts[] = {32, 64, 128, 256};
+    for (unsigned banks : bank_opts) {
+        for (unsigned wires : wire_opts) {
+            std::fprintf(stderr, "binary banks=%u wires=%u\n", banks,
+                         wires);
+            double e, c;
+            evaluate(SchemeKind::Binary, banks, wires, 4, &e, &c);
+            t.row().add("Binary").add(std::uint64_t{banks})
+                .add(std::uint64_t{wires}).add("-")
+                .add(e / base_e, 3).add(c / base_t, 3);
+        }
+    }
+    const unsigned chunk_opts[] = {2, 4};
+    for (unsigned banks : bank_opts) {
+        for (unsigned wires : wire_opts) {
+            for (unsigned chunk : chunk_opts) {
+                std::fprintf(stderr,
+                             "desc banks=%u wires=%u chunk=%u\n", banks,
+                             wires, chunk);
+                double e, c;
+                evaluate(SchemeKind::DescZeroSkip, banks, wires, chunk,
+                         &e, &c);
+                t.row().add("ZS-DESC").add(std::uint64_t{banks})
+                    .add(std::uint64_t{wires})
+                    .add(std::uint64_t{chunk})
+                    .add(e / base_e, 3).add(c / base_t, 3);
+            }
+        }
+    }
+    t.print("Figure 22: design-space scatter, normalized to 8 banks / "
+            "64-bit bus / binary (paper: DESC points cluster at lower "
+            "energy, similar delay)");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 25: sensitivity of zero-skipped DESC to the number of L2
+ * banks (1..64): execution time and L2 energy, averaged over the
+ * applications, normalized to the 8-bank binary baseline. Paper: big
+ * improvement from 1 to 2 banks, minimum around 8, worse beyond due
+ * to per-bank overheads.
+ */
+
+#include "benchutil.hh"
+
+using namespace desc;
+
+int
+main()
+{
+    auto apps = bench::sweepApps();
+
+    auto evaluate = [&](encoding::SchemeKind kind, unsigned banks,
+                        double *energy, double *time) {
+        double e = 0, c = 0;
+        for (const auto &app : apps) {
+            auto cfg = sim::baselineConfig(app);
+            cfg.insts_per_thread = bench::kSweepBudget;
+            sim::applyScheme(cfg, kind);
+            cfg.l2.org.banks = banks;
+            auto run = sim::runApp(cfg);
+            e += run.l2.total();
+            c += double(run.result.cycles);
+        }
+        *energy = e;
+        *time = c;
+    };
+
+    double base_e, base_t;
+    evaluate(encoding::SchemeKind::Binary, 8, &base_e, &base_t);
+
+    Table t({"banks", "exec time (norm)", "L2 energy (norm)"});
+    for (unsigned banks : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        std::fprintf(stderr, "banks=%u\n", banks);
+        double e, c;
+        evaluate(encoding::SchemeKind::DescZeroSkip, banks, &e, &c);
+        t.row().add(std::uint64_t{banks}).add(c / base_t, 3)
+            .add(e / base_e, 3);
+    }
+    t.print("Figure 25: zero-skipped DESC vs bank count, normalized "
+            "to the 8-bank binary baseline (paper: best around 8 "
+            "banks)");
+    return 0;
+}

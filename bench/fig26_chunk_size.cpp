@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 26: sensitivity of zero-skipped DESC to the chunk size (1,
+ * 2, 4, 8 bits) across data bus widths (32..256 wires): L2 energy and
+ * execution time normalized to the binary baseline. Paper: 4-bit
+ * chunks with 128 wires give the best energy-delay product.
+ */
+
+#include "benchutil.hh"
+
+using namespace desc;
+
+int
+main()
+{
+    auto apps = bench::sweepApps();
+
+    double base_e = 0, base_t = 0;
+    for (const auto &app : apps) {
+        auto cfg = sim::baselineConfig(app);
+        cfg.insts_per_thread = bench::kSweepBudget;
+        auto run = sim::runApp(cfg);
+        base_e += run.l2.total();
+        base_t += double(run.result.cycles);
+    }
+
+    Table t({"chunk bits", "wires", "L2 energy (norm)",
+             "exec time (norm)", "EDP (norm)"});
+    double best_edp = 1e30;
+    std::string best_cfg;
+    for (unsigned chunk : {1u, 2u, 4u, 8u}) {
+        for (unsigned wires : {32u, 64u, 128u, 256u}) {
+            std::fprintf(stderr, "chunk=%u wires=%u\n", chunk, wires);
+            double e = 0, c = 0;
+            for (const auto &app : apps) {
+                auto cfg = sim::baselineConfig(app);
+                cfg.insts_per_thread = bench::kSweepBudget;
+                sim::applyScheme(cfg,
+                                 encoding::SchemeKind::DescZeroSkip);
+                cfg.l2.org.bus_wires = wires;
+                cfg.l2.scheme_cfg.bus_wires = wires;
+                cfg.l2.scheme_cfg.chunk_bits = chunk;
+                auto run = sim::runApp(cfg);
+                e += run.l2.total();
+                c += double(run.result.cycles);
+            }
+            double en = e / base_e, tn = c / base_t;
+            double edp = en * tn;
+            if (edp < best_edp) {
+                best_edp = edp;
+                best_cfg = std::to_string(chunk) + "-bit chunks, "
+                    + std::to_string(wires) + " wires";
+            }
+            t.row().add(std::uint64_t{chunk}).add(std::uint64_t{wires})
+                .add(en, 3).add(tn, 3).add(edp, 3);
+        }
+    }
+    t.print("Figure 26: zero-skipped DESC chunk-size sensitivity, "
+            "normalized to binary (paper best: 4-bit chunks, 128 "
+            "wires)");
+    std::printf("best energy-delay product: %s\n", best_cfg.c_str());
+    return 0;
+}

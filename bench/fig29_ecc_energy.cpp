@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 29: L2 energy under SECDED ECC for the same (W, S)
+ * configurations as Figure 28, normalized to 64-bit binary with the
+ * (72,64) code. Paper: zero-skipped DESC improves cache energy by
+ * 1.82x with (72,64) and 1.92x with (137,128).
+ */
+
+#include "benchutil.hh"
+
+using namespace desc;
+using encoding::SchemeKind;
+
+namespace {
+
+sim::SystemConfig
+eccConfig(const workloads::AppParams &app, SchemeKind kind,
+          unsigned wires, unsigned segment)
+{
+    auto cfg = sim::baselineConfig(app);
+    cfg.insts_per_thread = bench::kAppBudget;
+    sim::applyScheme(cfg, kind);
+    cfg.l2.org.bus_wires = wires;
+    cfg.l2.scheme_cfg.bus_wires = wires;
+    cfg.l2.ecc = true;
+    cfg.l2.ecc_segment_bits = segment;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    struct Config
+    {
+        const char *name;
+        SchemeKind kind;
+        unsigned wires, segment;
+    };
+    const Config configs[] = {
+        {"64-64 Binary", SchemeKind::Binary, 64, 64},
+        {"128-128 Binary", SchemeKind::Binary, 128, 128},
+        {"128-64 DESC", SchemeKind::DescZeroSkip, 128, 64},
+        {"128-128 DESC", SchemeKind::DescZeroSkip, 128, 128},
+    };
+
+    const auto &apps = workloads::parallelApps();
+    std::vector<std::vector<double>> energy(4);
+    for (unsigned c = 0; c < 4; c++) {
+        std::fprintf(stderr, "config %s\n", configs[c].name);
+        for (const auto &app : apps) {
+            auto cfg = eccConfig(app, configs[c].kind, configs[c].wires,
+                                 configs[c].segment);
+            energy[c].push_back(sim::runApp(cfg).l2.total());
+        }
+    }
+
+    Table t({"app", "64-64 Binary", "128-128 Binary", "128-64 DESC",
+             "128-128 DESC"});
+    std::vector<std::vector<double>> norm(4);
+    for (std::size_t a = 0; a < apps.size(); a++) {
+        t.row().add(apps[a].name);
+        for (unsigned c = 0; c < 4; c++) {
+            double v = energy[c][a] / energy[0][a];
+            norm[c].push_back(v);
+            t.add(v, 3);
+        }
+    }
+    t.row().add("Geomean");
+    for (unsigned c = 0; c < 4; c++)
+        t.add(geomean(norm[c]), 3);
+    t.print("Figure 29: L2 energy under SECDED ECC, normalized to "
+            "64-bit binary with (72,64)");
+
+    std::printf("DESC reduction with (72,64): %.2fx (paper 1.82x); "
+                "with (137,128): %.2fx (paper 1.92x)\n",
+                1.0 / geomean(norm[2]),
+                geomean(norm[1]) / geomean(norm[3]));
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * SECDED under DESC: demonstrates why the interleaved parity layout
+ * of Figure 9 matters. A transient H-tree fault under DESC corrupts a
+ * whole chunk (up to four bits); with the interleaved layout those
+ * bits land in distinct segments and every segment stays single-error
+ * correctable. Two faulted chunks stay detectable.
+ *
+ * Build and run:  ./build/examples/ecc_demo
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "ecc/blockcodec.hh"
+#include "ecc/injector.hh"
+
+using namespace desc;
+using namespace desc::ecc;
+
+int
+main()
+{
+    Rng rng(99);
+    BlockCodec codec(512, 128); // four (137,128) SECDED segments
+    std::printf("codec: %u segments of 128 data bits, %u parity bits "
+                "each -> %u bits on the bus\n\n",
+                codec.numSegments(), codec.parityBitsPerSegment(),
+                codec.busBits());
+
+    BitVec block(512);
+    block.randomize(rng);
+    BitVec bus = codec.encode(block);
+
+    // Fault 1: one corrupted DESC chunk (one bad toggle).
+    BitVec faulty = bus;
+    unsigned chunk = corruptRandomChunk(faulty, 4, rng);
+    auto d1 = codec.decode(faulty);
+    std::printf("one corrupted 4-bit chunk (#%u): %u segment(s) "
+                "corrected, data %s\n",
+                chunk, d1.corrected,
+                d1.block == block ? "RECOVERED" : "LOST");
+
+    // Fault 2: two corrupted chunks in the same transfer.
+    BitVec faulty2 = bus;
+    corruptChunk(faulty2, 10, 4, rng);
+    corruptChunk(faulty2, 77, 4, rng);
+    auto d2 = codec.decode(faulty2);
+    std::printf("two corrupted chunks: corrected=%u, "
+                "detected-double=%u -> %s\n",
+                d2.corrected, d2.detected_double,
+                d2.uncorrectable()
+                    ? "uncorrectable error reported (as designed)"
+                    : (d2.block == block ? "recovered" : "UNDETECTED!"));
+
+    // Fault 3: a classic single wire-bit error (binary signaling).
+    BitVec faulty3 = bus;
+    unsigned pos = flipRandomBit(faulty3, rng);
+    auto d3 = codec.decode(faulty3);
+    std::printf("single wire-bit error (bit %u): corrected=%u, data "
+                "%s\n",
+                pos, d3.corrected,
+                d3.block == block ? "RECOVERED" : "LOST");
+
+    // Statistics over many random chunk faults.
+    unsigned recovered = 0, detected = 0;
+    const unsigned trials = 2000;
+    for (unsigned i = 0; i < trials; i++) {
+        BitVec b(512);
+        b.randomize(rng);
+        BitVec w = codec.encode(b);
+        corruptRandomChunk(w, 4, rng);
+        auto d = codec.decode(w);
+        if (d.block == b)
+            recovered++;
+        else if (d.uncorrectable())
+            detected++;
+    }
+    std::printf("\n%u random chunk faults: %u recovered, %u flagged, "
+                "%u silent corruptions\n",
+                trials, recovered, detected,
+                trials - recovered - detected);
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Generic set-associative array with LRU replacement.
+ */
+
+#ifndef DESC_CACHE_ARRAY_HH
+#define DESC_CACHE_ARRAY_HH
+
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace desc::cache {
+
+/**
+ * Tag/state storage for one cache level. Meta carries the
+ * level-specific payload (coherence state, dirty bit, data, ...).
+ */
+template <typename Meta>
+class SetAssocArray
+{
+  public:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lru = 0;
+        Meta meta{};
+    };
+
+    SetAssocArray(std::uint64_t capacity_bytes, unsigned assoc,
+                  unsigned block_bytes)
+        : _assoc(assoc), _block_bytes(block_bytes)
+    {
+        DESC_ASSERT(capacity_bytes % (assoc * block_bytes) == 0,
+                    "capacity not divisible by assoc*block");
+        _sets = unsigned(capacity_bytes / (assoc * block_bytes));
+        DESC_ASSERT((_sets & (_sets - 1)) == 0,
+                    "set count must be a power of two: ", _sets);
+        _lines.assign(std::size_t(_sets) * assoc, Line{});
+    }
+
+    unsigned numSets() const { return _sets; }
+    unsigned assoc() const { return _assoc; }
+
+    unsigned
+    setOf(Addr addr) const
+    {
+        return unsigned((addr / _block_bytes) & (_sets - 1));
+    }
+
+    Addr
+    tagOf(Addr addr) const
+    {
+        return addr / _block_bytes / _sets;
+    }
+
+    /** Reconstruct the block address of a (set, line) pair. */
+    Addr
+    addrOf(const Line &line, unsigned set) const
+    {
+        return (line.tag * _sets + set) * _block_bytes;
+    }
+
+    /** Find a valid line matching @p addr; null on miss. */
+    Line *
+    lookup(Addr addr)
+    {
+        unsigned set = setOf(addr);
+        Addr tag = tagOf(addr);
+        Line *base = &_lines[std::size_t(set) * _assoc];
+        for (unsigned w = 0; w < _assoc; w++) {
+            if (base[w].valid && base[w].tag == tag)
+                return &base[w];
+        }
+        return nullptr;
+    }
+
+    /** Mark a line most-recently used. */
+    void touch(Line &line) { line.lru = ++_clock; }
+
+    /**
+     * Choose the victim way for @p addr (an invalid way if any,
+     * otherwise the LRU line). The caller handles any writeback, then
+     * fills the returned line via fill().
+     */
+    Line &
+    victim(Addr addr)
+    {
+        unsigned set = setOf(addr);
+        Line *base = &_lines[std::size_t(set) * _assoc];
+        Line *pick = &base[0];
+        for (unsigned w = 0; w < _assoc; w++) {
+            if (!base[w].valid)
+                return base[w];
+            if (base[w].lru < pick->lru)
+                pick = &base[w];
+        }
+        return *pick;
+    }
+
+    /**
+     * Victim selection with an avoidance predicate: an invalid way
+     * wins; otherwise the LRU way among lines for which @p avoid is
+     * false; otherwise the overall LRU way. Used by the inclusive L2
+     * to prefer evicting lines without live L1 copies.
+     */
+    template <typename Pred>
+    Line &
+    victimPreferring(Addr addr, Pred &&avoid)
+    {
+        unsigned set = setOf(addr);
+        Line *base = &_lines[std::size_t(set) * _assoc];
+        Line *preferred = nullptr;
+        Line *overall = &base[0];
+        for (unsigned w = 0; w < _assoc; w++) {
+            Line &line = base[w];
+            if (!line.valid)
+                return line;
+            if (line.lru < overall->lru)
+                overall = &line;
+            if (!avoid(line)
+                && (!preferred || line.lru < preferred->lru)) {
+                preferred = &line;
+            }
+        }
+        return preferred ? *preferred : *overall;
+    }
+
+    /** Install @p addr into @p line (which may hold an evictee). */
+    void
+    fill(Line &line, Addr addr)
+    {
+        line.tag = tagOf(addr);
+        line.valid = true;
+        line.meta = Meta{};
+        touch(line);
+    }
+
+    void
+    invalidate(Line &line)
+    {
+        line.valid = false;
+        line.meta = Meta{};
+    }
+
+    /** Iterate all valid lines (for inclusive-eviction bookkeeping). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (unsigned set = 0; set < _sets; set++) {
+            for (unsigned w = 0; w < _assoc; w++) {
+                Line &line = _lines[std::size_t(set) * _assoc + w];
+                if (line.valid)
+                    fn(line, set);
+            }
+        }
+    }
+
+  private:
+    unsigned _assoc;
+    unsigned _block_bytes;
+    unsigned _sets;
+    std::uint64_t _clock = 0;
+    std::vector<Line> _lines;
+};
+
+} // namespace desc::cache
+
+#endif // DESC_CACHE_ARRAY_HH

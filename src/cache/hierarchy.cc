@@ -1,0 +1,470 @@
+#include "cache/hierarchy.hh"
+
+#include "core/factory.hh"
+
+namespace desc::cache {
+
+encoding::SchemeConfig
+L2Config::effectiveSchemeConfig() const
+{
+    encoding::SchemeConfig c = scheme_cfg;
+    if (!ecc)
+        return c;
+
+    ecc::BlockCodec codec(c.block_bits, ecc_segment_bits);
+    if (isDesc()) {
+        // Parity chunks ride on extra wires (Figure 9): e.g. the
+        // (137,128) code adds nine 4-bit parity chunks to a 128-wire
+        // interface.
+        unsigned parity_chunks = codec.totalParityBits() / c.chunk_bits;
+        DESC_ASSERT(codec.totalParityBits() % c.chunk_bits == 0,
+                    "parity bits not chunk-aligned");
+        c.bus_wires += parity_chunks;
+    } else {
+        // Binary-style buses keep their beat count and widen by the
+        // parity wires per beat (e.g. 64 -> 72 for (72,64)).
+        unsigned beats = c.block_bits / c.bus_wires;
+        DESC_ASSERT(codec.busBits() % beats == 0,
+                    "ECC bus word not beat-aligned");
+        c.bus_wires = codec.busBits() / beats;
+    }
+    c.block_bits = codec.busBits();
+    return c;
+}
+
+MemHierarchy::MemHierarchy(sim::EventQueue &eq, const L2Config &l2cfg,
+                           BackingStore &backing, unsigned num_cores,
+                           const L1Config &l1cfg,
+                           const dram::DramConfig &dram_cfg)
+    : _eq(eq), _cfg(l2cfg), _energy_model(l2cfg.org), _backing(backing),
+      _dram(eq, dram_cfg),
+      _l2(l2cfg.org.capacity_bytes, l2cfg.org.assoc, l2cfg.org.block_bytes),
+      _scratch(0), _scratch_raw(l2cfg.scheme_cfg.block_bits),
+      _chunk_stats(l2cfg.scheme_cfg.chunk_bits == 0
+                       ? 4
+                       : l2cfg.scheme_cfg.chunk_bits,
+                   128)
+{
+    DESC_ASSERT(num_cores >= 1 && num_cores <= 8,
+                "directory bitmap supports up to 8 cores");
+
+    for (unsigned c = 0; c < num_cores; c++) {
+        _l1i.emplace_back(l1cfg.capacity_bytes, l1cfg.assoc_i,
+                          l1cfg.block_bytes);
+        _l1d.emplace_back(l1cfg.capacity_bytes, l1cfg.assoc_d,
+                          l1cfg.block_bytes);
+    }
+
+    auto eff = _cfg.effectiveSchemeConfig();
+    if (_cfg.ecc) {
+        _codec = std::make_unique<ecc::BlockCodec>(
+            _cfg.scheme_cfg.block_bits, _cfg.ecc_segment_bits);
+        _scratch = BitVec(_codec->busBits());
+    }
+
+    unsigned banks = _cfg.org.banks;
+    _banks.resize(banks);
+    for (unsigned b = 0; b < banks; b++) {
+        _banks[b].read_scheme = core::makeScheme(_cfg.scheme, eff);
+        _banks[b].write_scheme = core::makeScheme(_cfg.scheme, eff);
+        if (_cfg.snuca && banks > 1) {
+            double frac = double(b) / double(banks - 1);
+            _banks[b].route_latency = Cycle(
+                _cfg.snuca_min_latency
+                + frac * (_cfg.snuca_max_latency - _cfg.snuca_min_latency));
+            // Flip energy scales with routing distance; mean stays 1.
+            _banks[b].energy_weight = 0.4 + 1.2 * frac;
+        }
+    }
+
+    // Timing from the geometry model.
+    const double cycle_ps = 1000.0 / _cfg.org.clock_ghz;
+    const auto &dev = energy::tech22().device(_cfg.org.cell_dev);
+    _array_read_cycles = std::max<unsigned>(
+        1, unsigned(250.0 * dev.access_time_factor / cycle_ps + 0.999));
+    _array_write_cycles = _array_read_cycles;
+    _flight = _energy_model.htreeFlightCycles();
+}
+
+unsigned
+MemHierarchy::bankOf(Addr addr) const
+{
+    return unsigned((addr >> 6) % _cfg.org.banks);
+}
+
+Cycle
+MemHierarchy::transfer(unsigned bank_idx, const Block512 &data,
+                       bool write_dir, Cycle earliest)
+{
+    Bank &bank = _banks[bank_idx];
+
+    toBitVec(data, _scratch_raw);
+    const BitVec *word = &_scratch_raw;
+    if (_codec) {
+        _scratch = _codec->encode(_scratch_raw);
+        word = &_scratch;
+    }
+    if (_cfg.collect_chunk_stats)
+        _chunk_stats.observe(_scratch_raw);
+
+    auto &scheme = write_dir ? *bank.write_scheme : *bank.read_scheme;
+    auto r = scheme.transfer(*word);
+
+    Cycle window = r.cycles
+        + (_cfg.isDesc() ? _cfg.desc_interface_delay : 0);
+    unsigned array = write_dir ? _array_write_cycles : _array_read_cycles;
+
+    Cycle start = std::max(earliest, bank.free_at);
+    Cycle complete = start + array + window;
+    // Array access of the next request can overlap this transfer.
+    bank.free_at = start + std::max<Cycle>(array, window);
+
+    _stats.data_flips += double(r.data_flips) * bank.energy_weight;
+    _stats.ctrl_flips += double(r.control_flips) * bank.energy_weight;
+    _stats.bank_busy_cycles += window;
+    _stats.transfer_window.sample(double(window));
+    (write_dir ? _stats.write_transfers : _stats.read_transfers).inc();
+
+    return complete;
+}
+
+void
+MemHierarchy::evictL1Victim(unsigned core, L1Array &l1, Addr addr,
+                            bool ifetch)
+{
+    auto &v = l1.victim(addr);
+    if (!v.valid)
+        return;
+    Addr va = l1.addrOf(v, l1.setOf(addr));
+    if (!ifetch) {
+        auto *l2line = _l2.lookup(va);
+        if (v.meta.state == MesiState::Modified) {
+            _stats.l2_writebacks_in.inc();
+            if (l2line) {
+                l2line->meta.data = v.meta.data;
+                l2line->meta.dirty = true;
+            }
+            transfer(bankOf(va), v.meta.data, true,
+                     _eq.now() + _cfg.ctrl_latency + _flight);
+        }
+        if (l2line) {
+            l2line->meta.sharers &= std::uint8_t(~(1u << core));
+            if (l2line->meta.owner == core)
+                l2line->meta.owner = kNoOwner;
+        }
+    }
+    l1.invalidate(v);
+}
+
+bool
+MemHierarchy::recallForShared(L2Array::Line &line, Addr addr,
+                              Cycle earliest, Cycle *ready)
+{
+    *ready = earliest;
+    if (line.meta.owner == kNoOwner)
+        return false;
+    unsigned owner = line.meta.owner;
+    line.meta.owner = kNoOwner;
+    auto *l1line = _l1d[owner].lookup(addr);
+    if (!l1line)
+        return false;
+    bool was_dirty = l1line->meta.state == MesiState::Modified;
+    l1line->meta.state = MesiState::Shared;
+    if (was_dirty) {
+        _stats.recalls.inc();
+        line.meta.data = l1line->meta.data;
+        line.meta.dirty = true;
+        *ready = transfer(bankOf(addr), line.meta.data, true, earliest);
+        return true;
+    }
+    return false;
+}
+
+bool
+MemHierarchy::invalidateSharers(L2Array::Line &line, Addr addr,
+                                unsigned except_core, Cycle earliest,
+                                Cycle *ready)
+{
+    *ready = earliest;
+    bool recalled = false;
+    std::uint8_t sharers = line.meta.sharers;
+    for (unsigned c = 0; c < _l1d.size(); c++) {
+        if (c == except_core || !(sharers & (1u << c)))
+            continue;
+        auto *l1line = _l1d[c].lookup(addr);
+        if (l1line) {
+            if (l1line->meta.state == MesiState::Modified) {
+                _stats.recalls.inc();
+                line.meta.data = l1line->meta.data;
+                line.meta.dirty = true;
+                *ready = transfer(bankOf(addr), line.meta.data, true,
+                                  earliest);
+                recalled = true;
+            }
+            _l1d[c].invalidate(*l1line);
+        }
+        line.meta.sharers &= std::uint8_t(~(1u << c));
+    }
+    if (line.meta.owner != kNoOwner && line.meta.owner != except_core)
+        line.meta.owner = kNoOwner;
+    return recalled;
+}
+
+void
+MemHierarchy::fillL1(const MshrEntry::Waiter &w, Addr addr,
+                     L2Array::Line &l2line)
+{
+    L1Array &l1 = w.ifetch ? _l1i[w.core] : _l1d[w.core];
+    auto *line = l1.lookup(addr);
+    if (!line) {
+        evictL1Victim(w.core, l1, addr, w.ifetch);
+        auto &v = l1.victim(addr);
+        l1.fill(v, addr);
+        line = &v;
+    }
+    line->meta.data = l2line.meta.data;
+    if (w.ifetch) {
+        // Instruction lines are read-only and not directory-tracked.
+        line->meta.state = MesiState::Shared;
+        return;
+    }
+    if (w.exclusive) {
+        line->meta.state = MesiState::Exclusive;
+        l2line.meta.owner = std::uint8_t(w.core);
+        l2line.meta.sharers = std::uint8_t(1u << w.core);
+    } else {
+        bool alone = l2line.meta.sharers == 0;
+        line->meta.state =
+            alone ? MesiState::Exclusive : MesiState::Shared;
+        l2line.meta.sharers |= std::uint8_t(1u << w.core);
+        l2line.meta.owner =
+            alone ? std::uint8_t(w.core) : kNoOwner;
+    }
+}
+
+void
+MemHierarchy::serveHit(L2Array::Line &line, unsigned bank, Addr addr,
+                       Cycle earliest, Cycle t0,
+                       std::vector<MshrEntry::Waiter> waiters)
+{
+    Cycle complete = transfer(bank, line.meta.data, false, earliest);
+    Cycle flight_back =
+        _cfg.snuca ? _banks[bank].route_latency : _flight;
+    Cycle resp = complete + flight_back;
+
+    _eq.schedule(resp, [this, addr, t0,
+                        waiters = std::move(waiters)]() {
+        _stats.hit_latency.sample(double(_eq.now() - t0));
+        auto *line = _l2.lookup(addr);
+        for (const auto &w : waiters) {
+            if (line) {
+                fillL1(w, addr, *line);
+                _l2.touch(*line);
+            }
+            if (w.done)
+                w.done();
+        }
+    });
+}
+
+void
+MemHierarchy::l2Request(unsigned core, Addr addr, bool exclusive,
+                        bool ifetch, Cycle t0, DoneFn done)
+{
+    _stats.l2_requests.inc();
+
+    auto mshr = _mshrs.find(addr);
+    if (mshr != _mshrs.end()) {
+        mshr->second.waiters.push_back(
+            MshrEntry::Waiter{core, exclusive, ifetch, std::move(done)});
+        mshr->second.exclusive_needed |= exclusive;
+        return;
+    }
+
+    auto *line = _l2.lookup(addr);
+    if (line) {
+        _stats.l2_hits.inc();
+        unsigned bank = bankOf(addr);
+        Cycle flight_out =
+            _cfg.snuca ? _banks[bank].route_latency : _flight;
+        Cycle earliest = t0 + _cfg.ctrl_latency + flight_out;
+
+        Cycle ready = earliest;
+        if (exclusive) {
+            if (invalidateSharers(*line, addr, core, earliest, &ready))
+                ready += _cfg.recall_latency;
+        } else if (line->meta.owner != kNoOwner
+                   && line->meta.owner != core) {
+            if (recallForShared(*line, addr, earliest, &ready))
+                ready += _cfg.recall_latency;
+        }
+
+        std::vector<MshrEntry::Waiter> waiters;
+        waiters.push_back(
+            MshrEntry::Waiter{core, exclusive, ifetch, std::move(done)});
+        serveHit(*line, bank, addr, ready, t0, std::move(waiters));
+        return;
+    }
+
+    startMiss(core, addr, exclusive, ifetch, t0, std::move(done));
+}
+
+void
+MemHierarchy::startMiss(unsigned core, Addr addr, bool exclusive,
+                        bool ifetch, Cycle t0, DoneFn done)
+{
+    _stats.l2_misses.inc();
+    MshrEntry entry;
+    entry.waiters.push_back(
+        MshrEntry::Waiter{core, exclusive, ifetch, std::move(done)});
+    entry.exclusive_needed = exclusive;
+    _mshrs.emplace(addr, std::move(entry));
+
+    // Tag probe detects the miss, then the request goes to memory.
+    Cycle tag_done = t0 + _cfg.ctrl_latency + _flight + 2;
+    _eq.schedule(tag_done, [this, addr, t0]() {
+        _dram.access(addr, false,
+                     [this, addr, t0]() { finishMiss(addr, t0); });
+    });
+}
+
+void
+MemHierarchy::finishMiss(Addr addr, Cycle t0)
+{
+    (void)t0;
+    const Block512 &mem = _backing.fetch(addr);
+
+    // Prefer victims without live L1 copies: evicting an L1-resident
+    // line forces an inclusive back-invalidation that would wipe the
+    // cores' hot sets whenever the L2 churns.
+    auto &v = _l2.victimPreferring(addr, [](const L2Array::Line &line) {
+        return line.meta.sharers != 0 || line.meta.owner != kNoOwner;
+    });
+    unsigned bank = bankOf(addr);
+    if (v.valid) {
+        Addr va = _l2.addrOf(v, _l2.setOf(addr));
+        // Inclusive hierarchy: L1 copies of the victim must go.
+        Cycle ready;
+        invalidateSharers(v, va, unsigned(-1), _eq.now(), &ready);
+        if (v.meta.dirty) {
+            _stats.l2_evictions_out.inc();
+            transfer(bank, v.meta.data, false, _eq.now());
+            _backing.store(va, v.meta.data);
+            _dram.access(va, true, nullptr);
+        }
+        _l2.invalidate(v);
+    }
+    _l2.fill(v, addr);
+    v.meta.data = mem;
+    v.meta.dirty = false;
+    _stats.l2_fills.inc();
+
+    // Fill the data array through the bank's write port; the reply to
+    // the cores leaves the controller in parallel.
+    transfer(bank, mem, true, _eq.now() + _cfg.ctrl_latency);
+
+    Cycle resp = _eq.now() + _cfg.ctrl_latency;
+    auto it = _mshrs.find(addr);
+    DESC_ASSERT(it != _mshrs.end(), "miss completion without MSHR");
+    auto waiters = std::move(it->second.waiters);
+    _mshrs.erase(it);
+
+    _eq.schedule(resp, [this, addr, waiters = std::move(waiters)]() {
+        auto *line = _l2.lookup(addr);
+        for (const auto &w : waiters) {
+            if (line) {
+                fillL1(w, addr, *line);
+                _l2.touch(*line);
+            }
+            if (w.done)
+                w.done();
+        }
+    });
+}
+
+void
+MemHierarchy::prefill(Addr addr)
+{
+    addr = blockAddr(addr);
+    if (_l2.lookup(addr))
+        return;
+    auto &v = _l2.victimPreferring(addr, [](const L2Array::Line &line) {
+        return line.meta.sharers != 0 || line.meta.owner != kNoOwner;
+    });
+    if (v.valid && v.meta.dirty)
+        _backing.store(_l2.addrOf(v, _l2.setOf(addr)), v.meta.data);
+    _l2.invalidate(v);
+    _l2.fill(v, addr);
+    v.meta.data = _backing.fetch(addr);
+    v.meta.dirty = false;
+}
+
+std::optional<Cycle>
+MemHierarchy::access(unsigned core, Addr addr, bool is_write,
+                     std::uint64_t store_value, bool ifetch, DoneFn done)
+{
+    DESC_ASSERT(core < _l1d.size(), "core id out of range");
+    DESC_ASSERT(!(ifetch && is_write), "cannot write instructions");
+
+    L1Array &l1 = ifetch ? _l1i[core] : _l1d[core];
+    (ifetch ? _stats.l1i_accesses : _stats.l1d_accesses).inc();
+
+    const unsigned word = unsigned((addr >> 3) & 7);
+    auto *line = l1.lookup(addr);
+    if (line) {
+        if (!is_write) {
+            l1.touch(*line);
+            return Cycle{2};
+        }
+        if (line->meta.state == MesiState::Modified
+            || line->meta.state == MesiState::Exclusive) {
+            line->meta.state = MesiState::Modified;
+            line->meta.data[word] = store_value;
+            l1.touch(*line);
+            return Cycle{2};
+        }
+        // Store hit on a Shared line: upgrade (invalidate peers, no
+        // data transfer).
+        _stats.upgrades.inc();
+        Addr ba = blockAddr(addr);
+        auto *l2line = _l2.lookup(ba);
+        if (l2line) {
+            Cycle ready;
+            invalidateSharers(*l2line, ba, core,
+                              _eq.now() + _cfg.ctrl_latency, &ready);
+            l2line->meta.owner = std::uint8_t(core);
+            l2line->meta.sharers = std::uint8_t(1u << core);
+        }
+        line->meta.state = MesiState::Modified;
+        line->meta.data[word] = store_value;
+        l1.touch(*line);
+        Cycle lat = 2 * (_cfg.ctrl_latency + _flight);
+        _eq.scheduleIn(lat, std::move(done));
+        return std::nullopt;
+    }
+
+    (ifetch ? _stats.l1i_misses : _stats.l1d_misses).inc();
+
+    Addr ba = blockAddr(addr);
+    Cycle t0 = _eq.now() + 2; // L1 probe detects the miss
+    auto apply = [this, core, addr, is_write, store_value, ifetch, word,
+                  done = std::move(done)]() {
+        if (is_write) {
+            auto *ln = _l1d[core].lookup(addr);
+            if (ln) {
+                ln->meta.state = MesiState::Modified;
+                ln->meta.data[word] = store_value;
+            }
+        }
+        (void)ifetch;
+        if (done)
+            done();
+    };
+    _eq.schedule(t0, [this, core, ba, is_write, ifetch, t0,
+                      apply = std::move(apply)]() mutable {
+        l2Request(core, ba, is_write, ifetch, t0, std::move(apply));
+    });
+    return std::nullopt;
+}
+
+} // namespace desc::cache

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The full memory hierarchy of Table 1: per-core L1 I/D caches kept
+ * coherent with MESI, an inclusive shared L2 (banked UCA or S-NUCA-1)
+ * whose data ports use a pluggable TransferScheme, and DDR3 memory.
+ *
+ * Every 512-bit block that crosses the L2 H-tree — read hits, write
+ * backs, fills, dirty evictions, and coherence flushes — goes through
+ * the bank's TransferScheme instance, which yields the serialization
+ * window (performance) and the wire transitions (energy) for that
+ * exact data value. Bank conflicts arise naturally because a bank is
+ * busy for the duration of each transfer window.
+ */
+
+#ifndef DESC_CACHE_HIERARCHY_HH
+#define DESC_CACHE_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/array.hh"
+#include "cache/blockdata.hh"
+#include "common/stats.hh"
+#include "core/chunk.hh"
+#include "dram/ddr3.hh"
+#include "ecc/blockcodec.hh"
+#include "encoding/scheme.hh"
+#include "energy/cacti.hh"
+#include "sim/eventq.hh"
+
+namespace desc::cache {
+
+/** MESI coherence states of an L1 line. */
+enum class MesiState : std::uint8_t { Invalid, Shared, Exclusive, Modified };
+
+struct L1Config
+{
+    std::uint64_t capacity_bytes = 16 * 1024;
+    unsigned assoc_d = 4; //!< DL1: 4-way (Table 1)
+    unsigned assoc_i = 1; //!< IL1: direct-mapped (Table 1)
+    unsigned block_bytes = 64;
+    Cycle hit_latency = 2;
+};
+
+struct L2Config
+{
+    /** Geometry/device organization (shared with the energy model). */
+    energy::CacheOrg org{};
+
+    encoding::SchemeKind scheme = encoding::SchemeKind::Binary;
+    encoding::SchemeConfig scheme_cfg{};
+
+    /** S-NUCA-1 mode: statically routed banks, distance latency. */
+    bool snuca = false;
+    unsigned snuca_min_latency = 3;
+    unsigned snuca_max_latency = 13;
+
+    /** Controller decode/queue latency. */
+    Cycle ctrl_latency = 2;
+
+    /** Extra logic delay of the DESC TX/RX pair (synthesis: ~625ps). */
+    Cycle desc_interface_delay = 2;
+
+    /** Coherence recall (L1 flush) round-trip penalty. */
+    Cycle recall_latency = 10;
+
+    /** SECDED protection on the H-trees (Section 3.2.3). */
+    bool ecc = false;
+    unsigned ecc_segment_bits = 128;
+
+    /** Collect the Figure 12/13 chunk statistics (costs time). */
+    bool collect_chunk_stats = false;
+
+    /**
+     * The scheme configuration actually used on the wires: with ECC
+     * the bus word grows by the parity bits and the bus by the parity
+     * wires (Figure 9), for every scheme.
+     */
+    encoding::SchemeConfig effectiveSchemeConfig() const;
+
+    bool
+    isDesc() const
+    {
+        using encoding::SchemeKind;
+        return scheme == SchemeKind::DescBasic
+            || scheme == SchemeKind::DescZeroSkip
+            || scheme == SchemeKind::DescLastValueSkip;
+    }
+};
+
+struct HierarchyStats
+{
+    Counter l1i_accesses, l1i_misses;
+    Counter l1d_accesses, l1d_misses;
+    Counter upgrades;
+
+    Counter l2_requests, l2_hits, l2_misses;
+    Counter l2_writebacks_in;  //!< dirty L1 evictions into L2
+    Counter l2_fills;          //!< DRAM fills into L2
+    Counter l2_evictions_out;  //!< dirty L2 evictions to DRAM
+    Counter recalls;           //!< coherence flushes from an L1 owner
+
+    Counter read_transfers, write_transfers;
+
+    /** Transition counts (weighted by bank distance under S-NUCA). */
+    double data_flips = 0.0;
+    double ctrl_flips = 0.0;
+
+    /** Total cycles any bank port spent transferring (DESC power). */
+    Cycle bank_busy_cycles = 0;
+
+    Average hit_latency;      //!< request arrival to data response
+    Average transfer_window;  //!< serialization cycles per transfer
+};
+
+class MemHierarchy
+{
+  public:
+    using DoneFn = std::function<void()>;
+
+    MemHierarchy(sim::EventQueue &eq, const L2Config &l2cfg,
+                 BackingStore &backing, unsigned num_cores,
+                 const L1Config &l1cfg = L1Config{},
+                 const dram::DramConfig &dram_cfg = dram::DramConfig{});
+
+    /**
+     * One core memory access. Returns the access latency if it
+     * completes synchronously (L1 hit / upgrade-free store); otherwise
+     * returns nullopt and @p done fires at the completion cycle.
+     *
+     * @param store_value for writes: the 64-bit word the core stores
+     *        (keeps the data stream through the hierarchy realistic).
+     */
+    std::optional<Cycle> access(unsigned core, Addr addr, bool is_write,
+                                std::uint64_t store_value, bool ifetch,
+                                DoneFn done);
+
+    const HierarchyStats &stats() const { return _stats; }
+    const dram::DramSystem &dramSystem() const { return _dram; }
+    const core::ChunkStats &chunkStats() const { return _chunk_stats; }
+    const L2Config &config() const { return _cfg; }
+
+    /** Average L2 hit delay in cycles (Figure 21). */
+    double avgHitDelay() const { return _stats.hit_latency.mean(); }
+
+    /**
+     * Functional warmup: install the block at @p addr into the L2
+     * without consuming simulated time or charging activity. Used to
+     * reach steady-state cache contents before the timed region, as
+     * SimPoint-style sampled simulation requires.
+     */
+    void prefill(Addr addr);
+
+  private:
+    struct L1Meta
+    {
+        MesiState state = MesiState::Invalid;
+        Block512 data{};
+    };
+
+    struct L2Meta
+    {
+        bool dirty = false;
+        std::uint8_t sharers = 0; //!< DL1 sharer bitmap
+        std::uint8_t owner = kNoOwner;
+        Block512 data{};
+    };
+
+    static constexpr std::uint8_t kNoOwner = 0xff;
+
+    using L1Array = SetAssocArray<L1Meta>;
+    using L2Array = SetAssocArray<L2Meta>;
+
+    struct Bank
+    {
+        Cycle free_at = 0;
+        std::unique_ptr<encoding::TransferScheme> read_scheme;
+        std::unique_ptr<encoding::TransferScheme> write_scheme;
+        double energy_weight = 1.0;
+        Cycle route_latency = 0;
+    };
+
+    struct MshrEntry
+    {
+        struct Waiter
+        {
+            unsigned core;
+            bool exclusive;
+            bool ifetch;
+            DoneFn done;
+        };
+        std::vector<Waiter> waiters;
+        bool exclusive_needed = false;
+    };
+
+    unsigned bankOf(Addr addr) const;
+    Addr blockAddr(Addr addr) const { return addr & ~Addr{63}; }
+
+    /**
+     * Run @p data through a bank port. Returns the completion cycle
+     * (transfer fully delivered); the bank stays busy until then.
+     */
+    Cycle transfer(unsigned bank, const Block512 &data, bool write_dir,
+                   Cycle earliest);
+
+    void l2Request(unsigned core, Addr addr, bool exclusive, bool ifetch,
+                   Cycle t0, DoneFn done);
+    void serveHit(L2Array::Line &line, unsigned bank, Addr addr,
+                  Cycle earliest, Cycle t0,
+                  std::vector<MshrEntry::Waiter> waiters);
+    void startMiss(unsigned core, Addr addr, bool exclusive, bool ifetch,
+                   Cycle t0, DoneFn done);
+    void finishMiss(Addr addr, Cycle t0);
+
+    /** Flush/downgrade coherence copies; returns true if a recall
+     *  transfer was needed (owner had a Modified copy). */
+    bool recallForShared(L2Array::Line &line, Addr addr, Cycle earliest,
+                         Cycle *ready);
+    bool invalidateSharers(L2Array::Line &line, Addr addr,
+                           unsigned except_core, Cycle earliest,
+                           Cycle *ready);
+
+    void fillL1(const MshrEntry::Waiter &w, Addr addr,
+                L2Array::Line &l2line);
+    void evictL1Victim(unsigned core, L1Array &l1, Addr addr, bool ifetch);
+
+    sim::EventQueue &_eq;
+    L2Config _cfg;
+    energy::CacheEnergyModel _energy_model;
+    BackingStore &_backing;
+    dram::DramSystem _dram;
+
+    std::vector<L1Array> _l1i;
+    std::vector<L1Array> _l1d;
+    L2Array _l2;
+    std::vector<Bank> _banks;
+    std::unordered_map<Addr, MshrEntry> _mshrs;
+
+    std::unique_ptr<ecc::BlockCodec> _codec;
+    BitVec _scratch;     //!< reusable transfer word
+    BitVec _scratch_raw; //!< reusable 512-bit word (pre-ECC)
+
+    unsigned _array_read_cycles;
+    unsigned _array_write_cycles;
+    Cycle _flight;
+
+    HierarchyStats _stats;
+    core::ChunkStats _chunk_stats;
+};
+
+} // namespace desc::cache
+
+#endif // DESC_CACHE_HIERARCHY_HH

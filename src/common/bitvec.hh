@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A dynamic-width bit vector used to model data blocks and bus states.
+ *
+ * Cache blocks, bus beats, and per-wire link states are all modeled
+ * bit-accurately; BitVec provides the word-packed storage plus the
+ * operations the encoding schemes need (field extract/deposit, XOR,
+ * population count, Hamming distance, range inversion).
+ *
+ * Bit 0 is the least-significant bit of word 0.
+ */
+
+#ifndef DESC_COMMON_BITVEC_HH
+#define DESC_COMMON_BITVEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace desc {
+
+class Rng;
+
+class BitVec
+{
+  public:
+    /** Construct an all-zero vector of @p width bits. */
+    explicit BitVec(unsigned width = 0);
+
+    /** Construct from the low bits of @p value. */
+    BitVec(unsigned width, std::uint64_t value);
+
+    unsigned width() const { return _width; }
+    bool empty() const { return _width == 0; }
+
+    /** Read a single bit. */
+    bool bit(unsigned pos) const;
+
+    /** Write a single bit. */
+    void setBit(unsigned pos, bool value);
+
+    /** Toggle a single bit. */
+    void flipBit(unsigned pos);
+
+    /**
+     * Extract @p len bits starting at @p pos as an integer.
+     * @pre len <= 64 and pos + len <= width().
+     */
+    std::uint64_t field(unsigned pos, unsigned len) const;
+
+    /**
+     * Deposit the low @p len bits of @p value at @p pos.
+     * @pre len <= 64 and pos + len <= width().
+     */
+    void setField(unsigned pos, unsigned len, std::uint64_t value);
+
+    /** Number of set bits. */
+    unsigned popcount() const;
+
+    /** Number of differing bits between two equal-width vectors. */
+    unsigned hammingDistance(const BitVec &other) const;
+
+    /** Invert bits [pos, pos + len). */
+    void invertRange(unsigned pos, unsigned len);
+
+    /** Set all bits to zero. */
+    void clear();
+
+    /** True if every bit is zero. */
+    bool allZero() const;
+
+    /** XOR @p other into this vector (equal widths). */
+    BitVec &operator^=(const BitVec &other);
+
+    bool operator==(const BitVec &other) const;
+    bool operator!=(const BitVec &other) const { return !(*this == other); }
+
+    /** Fill the whole vector with uniformly random bits. */
+    void randomize(Rng &rng);
+
+    /** Copy bytes in (little-endian bit order); size must cover width. */
+    void fromBytes(const std::uint8_t *bytes, std::size_t n);
+
+    /** Export to bytes (little-endian bit order). */
+    void toBytes(std::uint8_t *bytes, std::size_t n) const;
+
+    /** Hex string, most-significant word first (for debugging). */
+    std::string toHex() const;
+
+    /** Raw word access for fast paths (words beyond width are zero). */
+    const std::vector<std::uint64_t> &words() const { return _words; }
+
+  private:
+    void maskTail();
+
+    unsigned _width;
+    std::vector<std::uint64_t> _words;
+};
+
+/** A 512-bit cache block payload. */
+BitVec makeBlock();
+
+} // namespace desc
+
+#endif // DESC_COMMON_BITVEC_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 tradition.
+ *
+ * panic() flags an internal modeling bug and aborts; fatal() flags a user
+ * configuration error and exits cleanly; warn()/inform() print status.
+ */
+
+#ifndef DESC_COMMON_LOG_HH
+#define DESC_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace desc {
+
+/** Print @p msg as an internal-error diagnostic and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print @p msg as a configuration-error diagnostic and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace desc
+
+#define DESC_PANIC(...) \
+    ::desc::panicImpl(__FILE__, __LINE__, ::desc::detail::concat(__VA_ARGS__))
+
+#define DESC_FATAL(...) \
+    ::desc::fatalImpl(__FILE__, __LINE__, ::desc::detail::concat(__VA_ARGS__))
+
+/** Assert a modeling invariant; compiled in all build types. */
+#define DESC_ASSERT(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::desc::panicImpl(__FILE__, __LINE__,                         \
+                ::desc::detail::concat("assertion failed: " #cond " ",    \
+                                       ##__VA_ARGS__));                   \
+        }                                                                 \
+    } while (0)
+
+#endif // DESC_COMMON_LOG_HH

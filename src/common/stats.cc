@@ -1,0 +1,48 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace desc {
+
+double
+Histogram::mean() const
+{
+    if (_total == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (unsigned i = 0; i < _bins.size(); i++)
+        sum += double(i) * double(_bins[i]);
+    // Overflowed samples are counted at the first out-of-range value;
+    // callers size the histogram so overflow is negligible.
+    sum += double(_bins.size()) * double(_overflow);
+    return sum / double(_total);
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    if (_bins.empty()) {
+        *this = o;
+        return;
+    }
+    DESC_ASSERT(_bins.size() == o._bins.size(), "histogram size mismatch");
+    for (unsigned i = 0; i < _bins.size(); i++)
+        _bins[i] += o._bins[i];
+    _total += o._total;
+    _overflow += o._overflow;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / double(values.size()));
+}
+
+} // namespace desc

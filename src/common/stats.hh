@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by all simulated components.
+ *
+ * The simulator favors explicit stat structs over a global registry;
+ * components expose their stats objects and the run driver aggregates
+ * them at the end of a simulation.
+ */
+
+#ifndef DESC_COMMON_STATS_HH
+#define DESC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace desc {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { _value += n; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+    Counter &operator+=(const Counter &o) { _value += o._value; return *this; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running mean/min/max of a sampled quantity. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        _sum += v;
+        _count++;
+        if (v < _min || _count == 1)
+            _min = v;
+        if (v > _max || _count == 1)
+            _max = v;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double sum() const { return _sum; }
+    std::uint64_t count() const { return _count; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+
+    void
+    merge(const Average &o)
+    {
+        if (o._count == 0)
+            return;
+        if (_count == 0) {
+            *this = o;
+            return;
+        }
+        _sum += o._sum;
+        _count += o._count;
+        if (o._min < _min)
+            _min = o._min;
+        if (o._max > _max)
+            _max = o._max;
+    }
+
+  private:
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    std::uint64_t _count = 0;
+};
+
+/** Fixed-bin histogram over integer samples [0, bins). */
+class Histogram
+{
+  public:
+    explicit Histogram(unsigned bins = 0) : _bins(bins, 0) {}
+
+    void
+    sample(std::uint64_t v, std::uint64_t n = 1)
+    {
+        if (v >= _bins.size())
+            _overflow += n;
+        else
+            _bins[v] += n;
+        _total += n;
+    }
+
+    std::uint64_t bin(unsigned i) const { return _bins[i]; }
+    unsigned numBins() const { return _bins.size(); }
+    std::uint64_t total() const { return _total; }
+    std::uint64_t overflow() const { return _overflow; }
+
+    /** Fraction of samples that fell into bin @p i. */
+    double
+    fraction(unsigned i) const
+    {
+        return _total ? double(_bins[i]) / double(_total) : 0.0;
+    }
+
+    double mean() const;
+
+    void merge(const Histogram &o);
+
+  private:
+    std::vector<std::uint64_t> _bins;
+    std::uint64_t _total = 0;
+    std::uint64_t _overflow = 0;
+};
+
+/** Geometric mean of a series (used for the per-app Geomean rows). */
+double geomean(const std::vector<double> &values);
+
+} // namespace desc
+
+#endif // DESC_COMMON_STATS_HH

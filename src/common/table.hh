@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Aligned text tables for the experiment harnesses.
+ *
+ * Every bench binary prints its figure/table as one of these, so the
+ * output can be diffed against EXPERIMENTS.md and parsed as CSV.
+ */
+
+#ifndef DESC_COMMON_TABLE_HH
+#define DESC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace desc {
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> columns);
+
+    /** Begin a new row; subsequent add() calls fill it left to right. */
+    Table &row();
+
+    Table &add(const std::string &cell);
+    Table &add(double value, int precision = 3);
+    Table &add(std::uint64_t value);
+
+    /**
+     * Render with aligned columns to stdout. If the DESC_TABLE_CSV
+     * environment variable is set, emit CSV instead (for scripts that
+     * post-process the figure data).
+     */
+    void print(const std::string &title = "") const;
+
+    /** Render as CSV (for machine consumption). */
+    std::string toCsv() const;
+
+  private:
+    std::vector<std::string> _columns;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Format a double with fixed precision (helper for ad-hoc printing). */
+std::string fmt(double value, int precision = 3);
+
+} // namespace desc
+
+#endif // DESC_COMMON_TABLE_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the DESC reproduction.
+ */
+
+#ifndef DESC_COMMON_TYPES_HH
+#define DESC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace desc {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Physical / simulated byte address. */
+using Addr = std::uint64_t;
+
+/** Simulated time in picoseconds (for energy integration). */
+using Picoseconds = std::uint64_t;
+
+/** Energy in joules. */
+using Joule = double;
+
+/** Power in watts. */
+using Watt = double;
+
+/** Number of bytes in a cache block throughout the paper. */
+constexpr unsigned kBlockBytes = 64;
+
+/** Number of bits in a cache block (512 in the paper). */
+constexpr unsigned kBlockBits = kBlockBytes * 8;
+
+} // namespace desc
+
+#endif // DESC_COMMON_TYPES_HH

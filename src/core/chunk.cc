@@ -1,0 +1,70 @@
+#include "core/chunk.hh"
+
+#include "common/log.hh"
+
+namespace desc::core {
+
+std::vector<std::uint8_t>
+splitChunks(const BitVec &block, unsigned chunk_bits)
+{
+    DESC_ASSERT(chunk_bits >= 1 && chunk_bits <= 8,
+                "chunk size must be 1..8 bits");
+    DESC_ASSERT(block.width() % chunk_bits == 0,
+                "block width not divisible by chunk size");
+    unsigned n = block.width() / chunk_bits;
+    std::vector<std::uint8_t> chunks(n);
+    for (unsigned i = 0; i < n; i++)
+        chunks[i] = std::uint8_t(block.field(i * chunk_bits, chunk_bits));
+    return chunks;
+}
+
+BitVec
+joinChunks(const std::vector<std::uint8_t> &chunks, unsigned chunk_bits,
+           unsigned block_bits)
+{
+    DESC_ASSERT(chunks.size() * chunk_bits == block_bits,
+                "chunk count does not cover the block");
+    BitVec block(block_bits);
+    for (unsigned i = 0; i < chunks.size(); i++)
+        block.setField(i * chunk_bits, chunk_bits, chunks[i]);
+    return block;
+}
+
+ChunkStats::ChunkStats(unsigned chunk_bits, unsigned wires)
+    : _chunk_bits(chunk_bits), _wires(wires),
+      _hist(1u << chunk_bits), _last(wires, 0), _last_valid(wires, false)
+{
+}
+
+void
+ChunkStats::observe(const BitVec &block)
+{
+    auto chunks = splitChunks(block, _chunk_bits);
+    for (unsigned i = 0; i < chunks.size(); i++) {
+        _hist.sample(chunks[i]);
+        unsigned w = chunkWire(i, _wires);
+        if (_last_valid[w]) {
+            _match_candidates++;
+            if (_last[w] == chunks[i])
+                _matches++;
+        }
+        _last[w] = chunks[i];
+        _last_valid[w] = true;
+    }
+}
+
+double
+ChunkStats::valueFraction(std::uint8_t v) const
+{
+    return _hist.fraction(v);
+}
+
+double
+ChunkStats::lastValueMatchFraction() const
+{
+    return _match_candidates
+        ? double(_matches) / double(_match_candidates)
+        : 0.0;
+}
+
+} // namespace desc::core

@@ -1,0 +1,111 @@
+#include "core/descscheme.hh"
+
+#include "core/chunk.hh"
+#include "core/timing.hh"
+
+namespace desc::core {
+
+DescScheme::DescScheme(const DescConfig &cfg)
+    : _cfg(cfg), _last(cfg.activeWires(), 0),
+      _adaptive(cfg.activeWires(), cfg.chunk_bits)
+{
+    _cfg.validate();
+}
+
+const char *
+DescScheme::name() const
+{
+    switch (_cfg.skip) {
+      case SkipMode::None:
+        return "Basic DESC";
+      case SkipMode::Zero:
+        return "Zero Skipped DESC";
+      case SkipMode::LastValue:
+        return "Last Value Skipped DESC";
+      case SkipMode::Adaptive:
+        return "Adaptive Skipped DESC";
+    }
+    return "?";
+}
+
+encoding::TransferResult
+DescScheme::transfer(const BitVec &block)
+{
+    DESC_ASSERT(block.width() == _cfg.block_bits, "block width mismatch");
+    encoding::TransferResult result;
+
+    const unsigned wires = _cfg.activeWires();
+    const unsigned waves = _cfg.numWaves();
+    const unsigned chunk_bits = _cfg.chunk_bits;
+
+    if (_cfg.skip == SkipMode::None) {
+        // One reset pulse, then every wire streams its queue back to
+        // back; the block completes when the slowest wire finishes.
+        Cycle window = 0;
+        for (unsigned w = 0; w < wires; w++) {
+            Cycle t = 0;
+            for (unsigned g = 0; g < waves; g++) {
+                std::uint64_t v =
+                    block.field((g * wires + w) * chunk_bits, chunk_bits);
+                t += chunkCycles(v, false, 0);
+                _last[w] = std::uint8_t(v);
+            }
+            if (t > window)
+                window = t;
+        }
+        result.cycles = 1 + window;
+        result.data_flips = _cfg.numChunks();
+        // Reset pulse plus one sync-strobe transition per busy cycle.
+        result.control_flips = 1 + result.cycles;
+        return result;
+    }
+
+    // Value-skipped protocol: one chunk per wire per wave; the pulse
+    // closing a wave is merged with the next wave's opening pulse.
+    Cycle cycles = 1; // opening pulse of wave 0
+    std::uint64_t reset_flips = 1;
+    for (unsigned g = 0; g < waves; g++) {
+        unsigned window = 0;
+        bool any_skipped = false;
+        for (unsigned w = 0; w < wires; w++) {
+            std::uint64_t v =
+                block.field((g * wires + w) * chunk_bits, chunk_bits);
+            std::uint64_t s = _cfg.skip == SkipMode::Zero
+                ? 0
+                : (_cfg.skip == SkipMode::Adaptive
+                       ? _adaptive.best(w)
+                       : _last[w]);
+            if (v == s) {
+                any_skipped = true;
+                result.skipped++;
+            } else {
+                result.data_flips++;
+                unsigned c = chunkCycles(v, true, s);
+                if (c > window)
+                    window = c;
+            }
+            _last[w] = std::uint8_t(v);
+            if (_cfg.skip == SkipMode::Adaptive)
+                _adaptive.update(w, std::uint8_t(v));
+        }
+        if (window == 0)
+            window = 1; // all-skipped wave: closing pulse one cycle later
+        cycles += window;
+        if (g + 1 < waves)
+            reset_flips++; // merged close/open
+        else if (any_skipped)
+            reset_flips++; // final closing pulse
+    }
+    result.cycles = cycles;
+    result.control_flips = reset_flips + cycles; // + sync strobe
+    return result;
+}
+
+void
+DescScheme::reset()
+{
+    std::fill(_last.begin(), _last.end(), 0);
+    _adaptive.reset();
+}
+
+} // namespace desc::core

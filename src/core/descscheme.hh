@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Block-level behavioral model of a DESC link.
+ *
+ * Computes exactly the cycle count and transition counts the
+ * cycle-accurate DescTransmitter/DescReceiver pair produces (the test
+ * suite asserts bit-exact agreement over random block streams), but in
+ * one pass over the chunks — this is what the multicore simulator uses
+ * on its fast path. Implements the TransferScheme interface so the
+ * cache model can swap it against the baseline encodings.
+ */
+
+#ifndef DESC_CORE_DESCSCHEME_HH
+#define DESC_CORE_DESCSCHEME_HH
+
+#include <vector>
+
+#include "core/adaptive.hh"
+#include "core/config.hh"
+#include "encoding/scheme.hh"
+
+namespace desc::core {
+
+class DescScheme : public encoding::TransferScheme
+{
+  public:
+    explicit DescScheme(const DescConfig &cfg);
+
+    encoding::TransferResult transfer(const BitVec &block) override;
+    unsigned dataWires() const override { return _cfg.activeWires(); }
+    unsigned controlWires() const override { return 2; }
+    const char *name() const override;
+    void reset() override;
+
+    const DescConfig &config() const { return _cfg; }
+
+  private:
+    DescConfig _cfg;
+    std::vector<std::uint8_t> _last;
+    AdaptiveTracker _adaptive;
+};
+
+} // namespace desc::core
+
+#endif // DESC_CORE_DESCSCHEME_HH

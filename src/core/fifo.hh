@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The per-wire chunk FIFO of the DESC transmitter (Figure 4).
+ */
+
+#ifndef DESC_CORE_FIFO_HH
+#define DESC_CORE_FIFO_HH
+
+#include <deque>
+
+#include "common/log.hh"
+
+namespace desc::core {
+
+template <typename T>
+class Fifo
+{
+  public:
+    void push(const T &value) { _q.push_back(value); }
+
+    T
+    pop()
+    {
+        DESC_ASSERT(!_q.empty(), "pop from empty FIFO");
+        T v = _q.front();
+        _q.pop_front();
+        return v;
+    }
+
+    const T &
+    front() const
+    {
+        DESC_ASSERT(!_q.empty(), "front of empty FIFO");
+        return _q.front();
+    }
+
+    bool empty() const { return _q.empty(); }
+    std::size_t size() const { return _q.size(); }
+    void clear() { _q.clear(); }
+
+  private:
+    std::deque<T> _q;
+};
+
+} // namespace desc::core
+
+#endif // DESC_CORE_FIFO_HH

@@ -1,0 +1,59 @@
+#include "core/link.hh"
+
+namespace desc::core {
+
+DescLink::DescLink(const DescConfig &cfg)
+    : _cfg(cfg), _tx(cfg), _rx(cfg), _prev(cfg.activeWires())
+{
+}
+
+encoding::TransferResult
+DescLink::transferBlock(const BitVec &block, BitVec *received)
+{
+    encoding::TransferResult result;
+    _tx.loadBlock(block);
+
+    const Cycle guard = 64 + 2ull * _cfg.numChunks()
+        * (std::uint64_t{1} << _cfg.chunk_bits);
+
+    while (_tx.busy()) {
+        _tx.tick();
+        WireBundle bundle = _tx.wires();
+        if (_fault)
+            _fault(_cycle, bundle);
+
+        // Count transitions against the previous cycle's levels.
+        for (unsigned w = 0; w < _cfg.activeWires(); w++) {
+            if (bundle.data[w] != _prev.data[w])
+                result.data_flips++;
+        }
+        if (bundle.reset_skip != _prev.reset_skip)
+            result.control_flips++;
+        if (bundle.sync != _prev.sync)
+            result.control_flips++;
+
+        _rx.observe(bundle);
+        _prev = bundle;
+        result.cycles++;
+        _cycle++;
+        DESC_ASSERT(result.cycles < guard, "transfer did not terminate");
+    }
+
+    DESC_ASSERT(_rx.blockReady(), "receiver incomplete after transfer");
+    result.skipped = _cfg.numChunks() - result.data_flips;
+    BitVec out = _rx.takeBlock();
+    if (received)
+        *received = out;
+    return result;
+}
+
+void
+DescLink::reset()
+{
+    _tx.reset();
+    _rx.reset();
+    _prev.clear();
+    _cycle = 0;
+}
+
+} // namespace desc::core

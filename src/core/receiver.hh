@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Cycle-accurate DESC receiver (Sections 3.1, 3.2.2, 3.3).
+ *
+ * The receiver samples the wire bundle once per cycle through toggle
+ * detectors and recovers chunk values from the elapsed cycle counts.
+ * Within a cycle, data strobes are processed before the reset/skip
+ * strobe, so a wave-closing pulse that is concurrent with the wave's
+ * last data strobe is interpreted correctly; a reset/skip pulse fills
+ * every still-silent wire of the open wave with its skip value
+ * (Figure 11b) and opens the next wave.
+ */
+
+#ifndef DESC_CORE_RECEIVER_HH
+#define DESC_CORE_RECEIVER_HH
+
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "core/config.hh"
+#include "core/adaptive.hh"
+#include "core/toggle.hh"
+#include "core/wires.hh"
+
+namespace desc::core {
+
+class DescReceiver
+{
+  public:
+    explicit DescReceiver(const DescConfig &cfg);
+
+    /** Sample the wire levels of one clock cycle. */
+    void observe(const WireBundle &wires);
+
+    /** True once a complete block has been recovered. */
+    bool blockReady() const { return _ready; }
+
+    /** Take the recovered block; clears blockReady(). */
+    BitVec takeBlock();
+
+    /** The receiver's last-value skip table (mirrors the TX). */
+    const std::vector<std::uint8_t> &lastValues() const { return _last; }
+
+    void reset();
+
+  private:
+    std::uint8_t skipValueFor(unsigned wire) const;
+    void openWave();
+    void finalizeWave();
+
+    DescConfig _cfg;
+
+    std::vector<ToggleDetector> _data_td;
+    ToggleDetector _reset_td;
+    ToggleDetector _sync_td;
+
+    std::vector<std::uint8_t> _chunks;
+    std::vector<std::uint8_t> _last;
+    AdaptiveTracker _adaptive;
+    bool _ready = false;
+
+    // Basic (no-skip) mode.
+    bool _in_block = false;
+    std::vector<unsigned> _elapsed_wire;
+    std::vector<unsigned> _next_slot;
+    unsigned _received = 0;
+
+    // Wave machine (skip modes).
+    bool _wave_open = false;
+    unsigned _wave = 0;
+    unsigned _elapsed = 0;
+    std::vector<bool> _got;
+    std::vector<std::uint8_t> _skipv;
+    unsigned _wave_got = 0;
+};
+
+} // namespace desc::core
+
+#endif // DESC_CORE_RECEIVER_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The DESC time-value mapping shared by the transmitter, receiver,
+ * and the behavioral model.
+ *
+ * A chunk of value v occupies chunkCycles(v) cycles of its wire: the
+ * data strobe toggles that many cycles after the previous pulse
+ * (Figure 5: value 2 takes 3 cycles, value 1 takes 2 cycles). With
+ * value skipping, the skip value is excluded from the count list
+ * (Section 3.3), which both removes its transition and narrows the
+ * time window (Figure 10: values up to 5 need a 5-cycle window with
+ * zero skipping instead of 6).
+ */
+
+#ifndef DESC_CORE_TIMING_HH
+#define DESC_CORE_TIMING_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace desc::core {
+
+/**
+ * Cycles between the opening pulse (reset or previous data strobe)
+ * and this chunk's data strobe.
+ *
+ * @param value       chunk value to transmit
+ * @param skipping    whether value skipping is active on this link
+ * @param skip_value  the skipped value (must differ from @p value)
+ */
+inline unsigned
+chunkCycles(std::uint64_t value, bool skipping, std::uint64_t skip_value)
+{
+    if (!skipping)
+        return unsigned(value) + 1;
+    DESC_ASSERT(value != skip_value, "skipped value cannot be transmitted");
+    return value < skip_value ? unsigned(value) + 1 : unsigned(value);
+}
+
+/** Inverse of chunkCycles: recover the value from the pulse delay. */
+inline std::uint64_t
+decodeCycles(unsigned elapsed, bool skipping, std::uint64_t skip_value)
+{
+    DESC_ASSERT(elapsed >= 1, "data strobe cannot precede the reset");
+    if (!skipping)
+        return elapsed - 1;
+    return elapsed <= skip_value ? elapsed - 1 : elapsed;
+}
+
+} // namespace desc::core
+
+#endif // DESC_CORE_TIMING_HH

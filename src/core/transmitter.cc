@@ -1,0 +1,196 @@
+#include "core/transmitter.hh"
+
+#include "core/chunk.hh"
+#include "core/timing.hh"
+
+namespace desc::core {
+
+const char *
+skipModeName(SkipMode mode)
+{
+    switch (mode) {
+      case SkipMode::None:
+        return "basic";
+      case SkipMode::Zero:
+        return "zero-skipped";
+      case SkipMode::LastValue:
+        return "last-value-skipped";
+      case SkipMode::Adaptive:
+        return "adaptive-skipped";
+    }
+    DESC_PANIC("bad skip mode");
+}
+
+DescTransmitter::DescTransmitter(const DescConfig &cfg)
+    : _cfg(cfg), _wires(cfg.activeWires()),
+      _data_tg(cfg.activeWires()),
+      _fifos(cfg.activeWires()),
+      _last(cfg.activeWires(), 0),
+      _adaptive(cfg.activeWires(), cfg.chunk_bits),
+      _countdown(cfg.activeWires(), 0)
+{
+    _cfg.validate();
+}
+
+std::uint8_t
+DescTransmitter::skipValueFor(unsigned wire) const
+{
+    switch (_cfg.skip) {
+      case SkipMode::Zero:
+        return 0;
+      case SkipMode::LastValue:
+        return _last[wire];
+      case SkipMode::Adaptive:
+        return _adaptive.best(wire);
+      case SkipMode::None:
+        break;
+    }
+    DESC_PANIC("skip value requested without value skipping");
+}
+
+void
+DescTransmitter::loadBlock(const BitVec &block)
+{
+    DESC_ASSERT(!_busy, "loadBlock while a transfer is in flight");
+    DESC_ASSERT(block.width() == _cfg.block_bits, "block width mismatch");
+
+    auto chunks = splitChunks(block, _cfg.chunk_bits);
+    unsigned wires = _cfg.activeWires();
+    for (unsigned i = 0; i < chunks.size(); i++)
+        _fifos[chunkWire(i, wires)].push(chunks[i]);
+
+    _busy = true;
+    if (_cfg.skip == SkipMode::None) {
+        _need_reset_pulse = true;
+        _wires_pending = wires;
+    } else {
+        _wave = 0;
+        _wave_tick = 0;
+        // The opening pulse of wave 0 fires on the first tick.
+        _wave_window = 0;
+        _wave_any_skipped = false;
+        _need_reset_pulse = true;
+    }
+}
+
+void
+DescTransmitter::openWave()
+{
+    // Fires the (merged) reset/skip pulse and schedules one chunk per
+    // wire for the new wave.
+    _reset_tg.fire();
+    _wave_tick = 0;
+    _wave_window = 0;
+    _wave_any_skipped = false;
+
+    unsigned wires = _cfg.activeWires();
+    for (unsigned w = 0; w < wires; w++) {
+        std::uint8_t v = _fifos[w].pop();
+        std::uint8_t s = skipValueFor(w);
+        if (v == s) {
+            _wave_any_skipped = true;
+            _countdown[w] = 0;
+        } else {
+            _countdown[w] = chunkCycles(v, true, s);
+            if (_countdown[w] > _wave_window)
+                _wave_window = _countdown[w];
+        }
+        _last[w] = v;
+        if (_cfg.skip == SkipMode::Adaptive)
+            _adaptive.update(w, v);
+    }
+    // An all-skipped wave still needs one cycle before the closing
+    // pulse can toggle the shared wire again.
+    if (_wave_window == 0)
+        _wave_window = 1;
+}
+
+void
+DescTransmitter::tick()
+{
+    if (!_busy)
+        return;
+
+    // The synchronization strobe toggles every cycle of an ongoing
+    // transfer (half-frequency clock forwarding, Section 3.1).
+    _sync_tg.fire();
+
+    unsigned wires = _cfg.activeWires();
+
+    if (_cfg.skip == SkipMode::None) {
+        if (_need_reset_pulse) {
+            _need_reset_pulse = false;
+            _reset_tg.fire();
+            for (unsigned w = 0; w < wires; w++)
+                _countdown[w] = chunkCycles(_fifos[w].front(), false, 0);
+        } else {
+            for (unsigned w = 0; w < wires; w++) {
+                if (_countdown[w] == 0)
+                    continue;
+                if (--_countdown[w] == 0) {
+                    _data_tg[w].fire();
+                    _last[w] = _fifos[w].pop();
+                    if (!_fifos[w].empty()) {
+                        _countdown[w] =
+                            chunkCycles(_fifos[w].front(), false, 0);
+                    } else {
+                        _wires_pending--;
+                    }
+                }
+            }
+            if (_wires_pending == 0)
+                _busy = false;
+        }
+    } else {
+        if (_need_reset_pulse) {
+            _need_reset_pulse = false;
+            openWave();
+        } else {
+            _wave_tick++;
+            for (unsigned w = 0; w < wires; w++) {
+                if (_countdown[w] != 0 && --_countdown[w] == 0)
+                    _data_tg[w].fire();
+            }
+            if (_wave_tick == _wave_window) {
+                _wave++;
+                if (_wave < _cfg.numWaves()) {
+                    // Merged close/open pulse (may be concurrent with
+                    // the last data strobe of the finished wave).
+                    openWave();
+                } else {
+                    if (_wave_any_skipped)
+                        _reset_tg.fire();
+                    _busy = false;
+                }
+            }
+        }
+    }
+
+    // Drive the wires with the toggle-generator outputs.
+    for (unsigned w = 0; w < wires; w++)
+        _wires.data[w] = _data_tg[w].level();
+    _wires.reset_skip = _reset_tg.level();
+    _wires.sync = _sync_tg.level();
+}
+
+void
+DescTransmitter::reset()
+{
+    for (auto &tg : _data_tg)
+        tg.reset();
+    _reset_tg.reset();
+    _sync_tg.reset();
+    for (auto &f : _fifos)
+        f.clear();
+    std::fill(_last.begin(), _last.end(), 0);
+    std::fill(_countdown.begin(), _countdown.end(), 0);
+    _wires.clear();
+    _busy = false;
+    _need_reset_pulse = false;
+    _wires_pending = 0;
+    _wave = _wave_tick = _wave_window = 0;
+    _wave_any_skipped = false;
+    _adaptive.reset();
+}
+
+} // namespace desc::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cycle-accurate DESC transmitter (Sections 3.1, 3.2.1, 3.3).
+ *
+ * The transmitter enqueues a block's chunks into per-wire FIFOs and
+ * signals each chunk by toggling its wire after chunkCycles(value)
+ * cycles. Without value skipping, a single reset pulse opens the block
+ * and the wires stream their queues back to back. With value skipping
+ * the transfer proceeds in waves of one chunk per wire: a reset/skip
+ * pulse opens each wave, chunks equal to the wire's skip value stay
+ * silent, and the pulse that opens the next wave (or the final close
+ * pulse) tells the receiver to substitute the skip value for every
+ * silent wire.
+ *
+ * Timing convention: the opening pulse occupies one cycle; a chunk's
+ * data strobe fires chunkCycles(v) cycles after the wave opens (or
+ * after the wire's previous strobe in basic mode). The wave-closing
+ * pulse is merged with the next wave's opening pulse and may be
+ * concurrent with the last data strobe of its wave (the receiver
+ * processes data strobes first).
+ */
+
+#ifndef DESC_CORE_TRANSMITTER_HH
+#define DESC_CORE_TRANSMITTER_HH
+
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "core/config.hh"
+#include "core/adaptive.hh"
+#include "core/fifo.hh"
+#include "core/toggle.hh"
+#include "core/wires.hh"
+
+namespace desc::core {
+
+class DescTransmitter
+{
+  public:
+    explicit DescTransmitter(const DescConfig &cfg);
+
+    /** True while a block transfer is in flight. */
+    bool busy() const { return _busy; }
+
+    /** Begin transmitting @p block. @pre !busy(). */
+    void loadBlock(const BitVec &block);
+
+    /** Advance one clock cycle, updating the driven wire levels. */
+    void tick();
+
+    /** Wire levels after the latest tick. */
+    const WireBundle &wires() const { return _wires; }
+
+    /** Last value transmitted per wire (the last-value skip table). */
+    const std::vector<std::uint8_t> &lastValues() const { return _last; }
+
+    /** Return all wires and internal state to idle. */
+    void reset();
+
+  private:
+    std::uint8_t skipValueFor(unsigned wire) const;
+    void openWave();
+
+    DescConfig _cfg;
+    WireBundle _wires;
+
+    std::vector<ToggleGenerator> _data_tg;
+    ToggleGenerator _reset_tg;
+    ToggleGenerator _sync_tg;
+
+    std::vector<Fifo<std::uint8_t>> _fifos;
+    std::vector<std::uint8_t> _last;
+    AdaptiveTracker _adaptive;
+
+    bool _busy = false;
+
+    /** Per-wire cycles until the next data strobe (0 = idle). */
+    std::vector<unsigned> _countdown;
+
+    // Basic (no-skip) mode.
+    bool _need_reset_pulse = false;
+    unsigned _wires_pending = 0;
+
+    // Wave machine (skip modes).
+    unsigned _wave = 0;
+    unsigned _wave_tick = 0;
+    unsigned _wave_window = 0;
+    bool _wave_any_skipped = false;
+};
+
+} // namespace desc::core
+
+#endif // DESC_CORE_TRANSMITTER_HH

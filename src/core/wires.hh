@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The physical wire levels connecting a DESC transmitter and receiver.
+ */
+
+#ifndef DESC_CORE_WIRES_HH
+#define DESC_CORE_WIRES_HH
+
+#include <vector>
+
+namespace desc::core {
+
+/**
+ * Levels of all wires of one DESC link at one clock cycle: the data
+ * strobes, the shared reset/skip strobe, and the half-frequency
+ * synchronization strobe.
+ */
+struct WireBundle
+{
+    std::vector<bool> data;
+    bool reset_skip = false;
+    bool sync = false;
+
+    explicit WireBundle(unsigned wires = 0) : data(wires, false) {}
+
+    void
+    clear()
+    {
+        data.assign(data.size(), false);
+        reset_skip = false;
+        sync = false;
+    }
+};
+
+} // namespace desc::core
+
+#endif // DESC_CORE_WIRES_HH

@@ -1,0 +1,128 @@
+#include "cpu/inorder.hh"
+
+namespace desc::cpu {
+
+InOrderCore::InOrderCore(
+    sim::EventQueue &eq, cache::MemHierarchy &mem, unsigned core_id,
+    std::vector<std::unique_ptr<InstructionStream>> threads,
+    std::uint64_t inst_budget)
+    : _eq(eq), _mem(mem), _core_id(core_id), _inst_budget(inst_budget)
+{
+    DESC_ASSERT(!threads.empty(), "core needs at least one thread");
+    for (auto &s : threads) {
+        Thread t;
+        t.stream = std::move(s);
+        t.fetch_countdown = 0;
+        _threads.push_back(std::move(t));
+    }
+}
+
+void
+InOrderCore::start()
+{
+    for (unsigned tid = 0; tid < _threads.size(); tid++)
+        _ready.push_back(tid);
+    scheduleDispatch(_eq.now());
+}
+
+void
+InOrderCore::scheduleDispatch(Cycle when)
+{
+    if (_dispatch_scheduled)
+        return;
+    _dispatch_scheduled = true;
+    _eq.schedule(when, [this]() {
+        _dispatch_scheduled = false;
+        dispatch();
+    });
+}
+
+void
+InOrderCore::onMemDone(unsigned tid)
+{
+    Thread &t = _threads[tid];
+    DESC_ASSERT(t.blocked, "completion for a runnable thread");
+    t.blocked = false;
+    _ready.push_back(tid);
+    scheduleDispatch(_eq.now());
+}
+
+void
+InOrderCore::dispatch()
+{
+    if (_ready.empty())
+        return; // all contexts blocked; a completion will wake us
+
+    unsigned tid = _ready.front();
+    _ready.pop_front();
+    Thread &t = _threads[tid];
+
+    // Instruction fetch: one I-cache access per fetched line.
+    if (t.fetch_countdown == 0) {
+        t.fetch_countdown = kFetchInterval;
+        auto lat = _mem.access(_core_id, t.stream->fetchAddr(), false, 0,
+                               true, [this, tid]() { onMemDone(tid); });
+        if (!lat) {
+            t.blocked = true;
+            // The issue slot frees immediately for other contexts.
+            scheduleDispatch(_eq.now());
+            return;
+        }
+        // I-fetch hits overlap with execution: no extra cycles.
+    }
+
+    // Execute up to the next memory operation (single issue: one
+    // instruction per cycle).
+    MemOp op;
+    unsigned gap = t.stream->nextGap(op);
+    std::uint64_t remaining = _inst_budget - t.retired;
+    bool has_mem = true;
+    std::uint64_t insts = std::uint64_t(gap) + 1;
+    if (insts >= remaining) {
+        insts = remaining;
+        has_mem = gap + 1 <= remaining; // mem op is the last instruction
+    }
+
+    t.retired += insts;
+    _stats.instructions.inc(insts);
+    t.fetch_countdown = t.fetch_countdown > insts
+        ? unsigned(t.fetch_countdown - insts)
+        : 0;
+
+    Cycle busy = std::max<Cycle>(1, insts);
+    Cycle end = _eq.now() + busy;
+
+    if (t.retired >= _inst_budget) {
+        t.finished = true;
+        _done_threads++;
+        // Let the memory op of the final instruction drain untimed.
+        scheduleDispatch(end);
+        return;
+    }
+
+    if (has_mem) {
+        _stats.mem_ops.inc();
+        _eq.schedule(end, [this, tid, op]() {
+            auto lat = _mem.access(
+                _core_id, op.addr, op.is_write, op.store_value, false,
+                [this, tid]() { onMemDone(tid); });
+            if (lat) {
+                _eq.scheduleIn(*lat, [this, tid]() {
+                    _ready.push_back(tid);
+                    scheduleDispatch(_eq.now());
+                });
+            } else {
+                _threads[tid].blocked = true;
+            }
+        });
+    } else {
+        _eq.schedule(end, [this, tid]() {
+            _ready.push_back(tid);
+            scheduleDispatch(_eq.now());
+        });
+    }
+
+    scheduleDispatch(end);
+}
+
+} // namespace desc::cpu

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The instruction-stream interface cores consume.
+ *
+ * Streams are produced by the workload models: each call yields the
+ * number of non-memory instructions executed before the next memory
+ * operation, plus that operation (address, direction, store value).
+ */
+
+#ifndef DESC_CPU_STREAM_HH
+#define DESC_CPU_STREAM_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace desc::cpu {
+
+struct MemOp
+{
+    Addr addr = 0;
+    bool is_write = false;
+    std::uint64_t store_value = 0;
+};
+
+class InstructionStream
+{
+  public:
+    virtual ~InstructionStream() = default;
+
+    /**
+     * Advance the stream to the next memory operation.
+     * @param op receives the memory operation
+     * @return   non-memory instructions executed before @p op
+     */
+    virtual unsigned nextGap(MemOp &op) = 0;
+
+    /**
+     * Current instruction-fetch address (advances as instructions
+     * retire; wraps within the application's code footprint).
+     */
+    virtual Addr fetchAddr() const = 0;
+};
+
+} // namespace desc::cpu
+
+#endif // DESC_CPU_STREAM_HH

@@ -1,0 +1,115 @@
+#include "dram/ddr3.hh"
+
+#include <cmath>
+
+namespace desc::dram {
+
+DramSystem::DramSystem(sim::EventQueue &eq, const DramConfig &cfg)
+    : _eq(eq), _cfg(cfg), _channels(cfg.channels)
+{
+    for (auto &ch : _channels)
+        ch.banks.assign(cfg.banks_per_channel, Bank{});
+}
+
+unsigned
+DramSystem::channelOf(Addr addr) const
+{
+    return (addr >> 6) % _cfg.channels; // block-interleaved
+}
+
+unsigned
+DramSystem::bankOf(Addr addr) const
+{
+    return (addr >> 7) % _cfg.banks_per_channel;
+}
+
+Addr
+DramSystem::rowOf(Addr addr) const
+{
+    return addr >> 16; // 64KB rows per bank slice
+}
+
+Cycle
+DramSystem::toCore(unsigned mem_cycles) const
+{
+    return Cycle(std::ceil(mem_cycles * _cfg.core_ghz / _cfg.mem_ghz));
+}
+
+Cycle
+DramSystem::rowHitLatency() const
+{
+    return toCore(_cfg.tCL + _cfg.tBurst);
+}
+
+void
+DramSystem::access(Addr addr, bool is_write, DoneFn done)
+{
+    unsigned ch = channelOf(addr);
+    _channels[ch].queue.push_back(
+        Request{addr, is_write, _eq.now(), std::move(done)});
+    trySchedule(ch);
+}
+
+void
+DramSystem::trySchedule(unsigned ch_idx)
+{
+    Channel &ch = _channels[ch_idx];
+    if (ch.queue.empty() || ch.in_flight >= _cfg.max_overlap)
+        return;
+
+    // FR-FCFS: the oldest row-buffer hit wins; otherwise the oldest
+    // request overall.
+    std::size_t pick = 0;
+    bool found_hit = false;
+    for (std::size_t i = 0; i < ch.queue.size(); i++) {
+        const Request &r = ch.queue[i];
+        const Bank &bank = ch.banks[bankOf(r.addr)];
+        if (bank.open_row == rowOf(r.addr) && bank.ready_at <= _eq.now()) {
+            pick = i;
+            found_hit = true;
+            break;
+        }
+    }
+
+    Request req = std::move(ch.queue[pick]);
+    ch.queue.erase(ch.queue.begin() + pick);
+
+    Bank &bank = ch.banks[bankOf(req.addr)];
+    bool row_hit = bank.open_row == rowOf(req.addr);
+    (void)found_hit;
+
+    unsigned prep_mem = row_hit ? 0 : _cfg.tRP + _cfg.tRCD;
+    Cycle bank_start = std::max(_eq.now(), bank.ready_at);
+    Cycle data_start = std::max(bank_start + toCore(prep_mem + _cfg.tCL),
+                                ch.data_bus_free);
+    Cycle complete = data_start + toCore(_cfg.tBurst);
+
+    bank.open_row = rowOf(req.addr);
+    bank.ready_at = complete;
+    ch.data_bus_free = data_start + toCore(_cfg.tBurst);
+    ch.in_flight++;
+
+    if (row_hit)
+        _stats.row_hits.inc();
+    else
+        _stats.row_misses.inc();
+    if (req.is_write)
+        _stats.writes.inc();
+    else
+        _stats.reads.inc();
+
+    Cycle issued = req.issued;
+    _eq.schedule(complete, [this, ch_idx, issued,
+                            done = std::move(req.done)]() {
+        _stats.latency.sample(double(_eq.now() - issued));
+        _channels[ch_idx].in_flight--;
+        if (done)
+            done();
+        trySchedule(ch_idx);
+    });
+
+    // Keep dispatching while overlap slots remain.
+    trySchedule(ch_idx);
+}
+
+} // namespace desc::dram

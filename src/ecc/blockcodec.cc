@@ -1,0 +1,74 @@
+#include "ecc/blockcodec.hh"
+
+#include "common/log.hh"
+
+namespace desc::ecc {
+
+BlockCodec::BlockCodec(unsigned block_bits, unsigned segment_data_bits)
+    : _block_bits(block_bits), _segment_data_bits(segment_data_bits),
+      _num_segments(block_bits / segment_data_bits),
+      _code(segment_data_bits)
+{
+    DESC_ASSERT(block_bits % segment_data_bits == 0,
+                "block not divisible into segments");
+}
+
+BitVec
+BlockCodec::encode(const BitVec &block) const
+{
+    DESC_ASSERT(block.width() == _block_bits, "block width mismatch");
+    BitVec bus(busBits());
+
+    for (unsigned s = 0; s < _num_segments; s++) {
+        // Gather the segment's interleaved data bits.
+        BitVec seg(_segment_data_bits);
+        for (unsigned k = 0; k < _segment_data_bits; k++)
+            seg.setBit(k, block.bit(k * _num_segments + s));
+        BitVec code = _code.encode(seg);
+        // Payload bits stay in the block's own positions.
+        // Parity bits land after the block, interleaved the same way
+        // (parity bit p of segment s at p*S + s) so each parity chunk
+        // also holds at most one bit per segment.
+        for (unsigned p = 0; p < _code.parityBits(); p++) {
+            bus.setBit(_block_bits + p * _num_segments + s,
+                       code.bit(_segment_data_bits + p));
+        }
+    }
+    for (unsigned b = 0; b < _block_bits; b++)
+        bus.setBit(b, block.bit(b));
+    return bus;
+}
+
+BlockCodec::DecodeResult
+BlockCodec::decode(const BitVec &bus) const
+{
+    DESC_ASSERT(bus.width() == busBits(), "bus word width mismatch");
+    DecodeResult result;
+    result.block = BitVec(_block_bits);
+
+    for (unsigned s = 0; s < _num_segments; s++) {
+        BitVec code(_code.codeBits());
+        for (unsigned k = 0; k < _segment_data_bits; k++)
+            code.setBit(k, bus.bit(k * _num_segments + s));
+        for (unsigned p = 0; p < _code.parityBits(); p++) {
+            code.setBit(_segment_data_bits + p,
+                        bus.bit(_block_bits + p * _num_segments + s));
+        }
+        auto decoded = _code.decode(code);
+        switch (decoded.status) {
+          case EccStatus::Ok:
+            break;
+          case EccStatus::Corrected:
+            result.corrected++;
+            break;
+          case EccStatus::DetectedDouble:
+            result.detected_double++;
+            break;
+        }
+        for (unsigned k = 0; k < _segment_data_bits; k++)
+            result.block.setBit(k * _num_segments + s, decoded.data.bit(k));
+    }
+    return result;
+}
+
+} // namespace desc::ecc

@@ -1,0 +1,49 @@
+#include "encoding/binary.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace desc::encoding {
+
+BinaryScheme::BinaryScheme(const SchemeConfig &cfg)
+    : _wires(cfg.bus_wires), _block_bits(cfg.block_bits), _state(cfg.bus_wires)
+{
+    DESC_ASSERT(_wires > 0, "bus needs at least one wire");
+    _beats = (_block_bits + _wires - 1) / _wires;
+}
+
+TransferResult
+BinaryScheme::transfer(const BitVec &block)
+{
+    DESC_ASSERT(block.width() == _block_bits, "block width mismatch");
+    TransferResult result;
+    result.cycles = _beats;
+
+    // Walk the block in 64-bit pieces of each beat; XOR against the
+    // persistent wire state to count transitions.
+    for (unsigned beat = 0; beat < _beats; beat++) {
+        unsigned beat_base = beat * _wires;
+        for (unsigned off = 0; off < _wires; off += 64) {
+            unsigned len = std::min(64u, _wires - off);
+            unsigned pos = beat_base + off;
+            std::uint64_t fresh = 0;
+            if (pos < _block_bits) {
+                unsigned avail = std::min(len, _block_bits - pos);
+                fresh = block.field(pos, avail);
+            }
+            std::uint64_t old = _state.field(off, len);
+            result.data_flips += std::popcount(fresh ^ old);
+            _state.setField(off, len, fresh);
+        }
+    }
+    return result;
+}
+
+void
+BinaryScheme::reset()
+{
+    _state.clear();
+}
+
+} // namespace desc::encoding

@@ -1,0 +1,67 @@
+#include "encoding/dzc.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace desc::encoding {
+
+DynamicZeroScheme::DynamicZeroScheme(const SchemeConfig &cfg)
+    : _wires(cfg.bus_wires), _block_bits(cfg.block_bits),
+      _seg_bits(cfg.segment_bits), _state(cfg.bus_wires)
+{
+    DESC_ASSERT(_seg_bits > 0 && _seg_bits <= 64,
+                "segment size must be 1..64 bits: ", _seg_bits);
+    DESC_ASSERT(_wires % _seg_bits == 0,
+                "bus width not divisible by segment size");
+    _beats = (_block_bits + _wires - 1) / _wires;
+    _num_segs = _wires / _seg_bits;
+    _zero_state.assign(_num_segs, false);
+}
+
+TransferResult
+DynamicZeroScheme::transfer(const BitVec &block)
+{
+    DESC_ASSERT(block.width() == _block_bits, "block width mismatch");
+    TransferResult result;
+    result.cycles = _beats + 1; // zero-detect pipeline stage
+
+    for (unsigned beat = 0; beat < _beats; beat++) {
+        unsigned beat_base = beat * _wires;
+        for (unsigned s = 0; s < _num_segs; s++) {
+            unsigned pos = beat_base + s * _seg_bits;
+            std::uint64_t value = 0;
+            if (pos < _block_bits) {
+                unsigned avail = std::min(_seg_bits, _block_bits - pos);
+                value = block.field(pos, avail);
+            }
+
+            if (value == 0) {
+                // Only the indicator may switch; data wires hold.
+                if (!_zero_state[s]) {
+                    result.control_flips++;
+                    _zero_state[s] = true;
+                }
+                result.skipped++;
+            } else {
+                if (_zero_state[s]) {
+                    result.control_flips++;
+                    _zero_state[s] = false;
+                }
+                std::uint64_t old = _state.field(s * _seg_bits, _seg_bits);
+                result.data_flips += std::popcount(value ^ old);
+                _state.setField(s * _seg_bits, _seg_bits, value);
+            }
+        }
+    }
+    return result;
+}
+
+void
+DynamicZeroScheme::reset()
+{
+    _state.clear();
+    std::fill(_zero_state.begin(), _zero_state.end(), false);
+}
+
+} // namespace desc::encoding

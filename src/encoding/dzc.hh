@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Dynamic zero compression (Villa, Zhang & Asanovic, MICRO 2000).
+ *
+ * Each segment of the bus owns a zero-indicator wire. A segment whose
+ * value is zero transmits only the indicator; its data wires hold
+ * their previous levels. Non-zero segments transmit normally with the
+ * indicator deasserted.
+ */
+
+#ifndef DESC_ENCODING_DZC_HH
+#define DESC_ENCODING_DZC_HH
+
+#include <vector>
+
+#include "encoding/scheme.hh"
+
+namespace desc::encoding {
+
+class DynamicZeroScheme : public TransferScheme
+{
+  public:
+    explicit DynamicZeroScheme(const SchemeConfig &cfg);
+
+    TransferResult transfer(const BitVec &block) override;
+    unsigned dataWires() const override { return _wires; }
+    unsigned controlWires() const override { return _num_segs; }
+    const char *name() const override { return "Dynamic Zero Compression"; }
+    void reset() override;
+
+  private:
+    unsigned _wires;
+    unsigned _block_bits;
+    unsigned _beats;
+    unsigned _seg_bits;
+    unsigned _num_segs;
+
+    BitVec _state;
+    std::vector<bool> _zero_state;
+};
+
+} // namespace desc::encoding
+
+#endif // DESC_ENCODING_DZC_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * McPAT-lite: first-order whole-processor power model.
+ *
+ * The paper uses McPAT only to put the L2 energy in context (Figures 1
+ * and 19: the L2 is ~15% of processor energy in the baseline, and
+ * zero-skipped DESC saves ~7% of processor energy). This model charges
+ * per-instruction core energy, per-access L1 energy, per-core leakage,
+ * and a fixed uncore power, and combines them with the externally
+ * computed L2 energy.
+ */
+
+#ifndef DESC_ENERGY_MCPAT_HH
+#define DESC_ENERGY_MCPAT_HH
+
+#include "common/types.hh"
+
+namespace desc::energy {
+
+/** Kind of core being modeled (Table 1 of the paper). */
+enum class CoreKind { InOrderSMT, OutOfOrder };
+
+/** Aggregate activity counts from one simulation. */
+struct ProcessorActivity
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t l1i_accesses = 0;
+    std::uint64_t l1d_accesses = 0;
+    std::uint64_t l2_accesses = 0;
+    double runtime_s = 0.0;
+};
+
+/** Energy breakdown returned by the model. */
+struct ProcessorEnergy
+{
+    Joule core_dynamic = 0.0;
+    Joule core_static = 0.0;
+    Joule l1 = 0.0;
+    Joule uncore = 0.0;
+    Joule l2 = 0.0;
+
+    Joule
+    total() const
+    {
+        return core_dynamic + core_static + l1 + uncore + l2;
+    }
+};
+
+class ProcessorPowerModel
+{
+  public:
+    ProcessorPowerModel(unsigned num_cores, CoreKind kind,
+                        double clock_ghz = 3.2);
+
+    /**
+     * Combine simulation activity with the separately computed L2
+     * energy into a whole-processor breakdown.
+     */
+    ProcessorEnergy evaluate(const ProcessorActivity &activity,
+                             Joule l2_energy) const;
+
+  private:
+    unsigned _num_cores;
+    CoreKind _kind;
+
+    double _epi_pj;        //!< core dynamic energy per instruction
+    double _l1_access_pj;  //!< per L1 access (either cache)
+    double _core_leak_w;   //!< leakage per core
+    double _uncore_w;      //!< crossbar + memory controller static
+    double _uncore_pj;     //!< uncore dynamic per L2 access
+};
+
+} // namespace desc::energy
+
+#endif // DESC_ENERGY_MCPAT_HH

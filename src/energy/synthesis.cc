@@ -1,0 +1,96 @@
+#include "energy/synthesis.hh"
+
+namespace desc::energy {
+
+namespace {
+
+/** Gate equivalents (NAND2) per flip-flop / small block. */
+constexpr double kGePerFlop = 6.0;
+constexpr double kGePerXor = 2.5;
+
+/** Routing/overhead multiplier on top of raw cell area. */
+constexpr double kWiringOverhead = 1.4;
+
+/** Switched cap of a strobe/clock output driver (fF). */
+constexpr double kDriverCapFf = 120.0;
+
+/** Fraction of gates toggling at peak. */
+constexpr double kPeakActivity = 1.0;
+
+/**
+ * Average activity during a transfer relative to peak, for energy
+ * accounting. The interface is aggressively clock-gated: chunk units
+ * gate off after their strobe fires, and only the shared counter and
+ * the pending comparators toggle each cycle.
+ */
+constexpr double kAvgActivity = 0.006;
+
+} // namespace
+
+DescSynthesisModel::DescSynthesisModel(unsigned chunks, unsigned chunk_bits,
+                                       const TechParams &tech,
+                                       double clock_ghz)
+    : _chunks(chunks), _chunk_bits(chunk_bits), _clock_ghz(clock_ghz)
+{
+    const double b = chunk_bits;
+
+    // Per-chunk transmitter (Figure 11a): chunk register, counter
+    // comparator, skip-value comparator, toggle generator, control.
+    const double tx_chunk_ge = b * kGePerFlop     // chunk register
+        + 2.0 * b                                 // counter compare
+        + 2.0 * b                                 // skip compare
+        + kGePerFlop + kGePerXor                  // toggle generator
+        + 6.0;                                    // enable/start control
+    // Shared: down counter, FSM, reset/skip toggle, sync strobe gen.
+    const double tx_shared_ge =
+        b * (kGePerFlop + 3.0) + 60.0 + 2.0 * (kGePerFlop + kGePerXor);
+    const double tx_ge = _chunks * tx_chunk_ge + tx_shared_ge;
+
+    // Per-chunk receiver (Figure 11b): toggle detector, output register
+    // with skip-value mux, load control.
+    const double rx_chunk_ge = (kGePerFlop + kGePerXor) // toggle detector
+        + b * kGePerFlop                                // output register
+        + b * 1.5                                       // skip-value mux
+        + 4.0;                                          // load control
+    const double rx_shared_ge =
+        b * (kGePerFlop + 3.0) + 40.0 + (kGePerFlop + kGePerXor);
+    const double rx_ge = _chunks * rx_chunk_ge + rx_shared_ge;
+
+    const double f_hz = clock_ghz * 1e9;
+    const double v2 = tech.vdd * tech.vdd;
+    const double gate_j = tech.gate_cap_ff * 1e-15 * v2;
+
+    auto make = [&](double ge, double drivers, double logic_fo4) {
+        SynthesisResult r;
+        r.area_um2 = ge * tech.gate_area_um2 * kWiringOverhead;
+        const double gate_w = ge * gate_j * f_hz * kPeakActivity;
+        const double driver_w =
+            drivers * kDriverCapFf * 1e-15 * v2 * f_hz;
+        r.peak_power_mw = (gate_w + driver_w) * 1e3;
+        r.delay_ns = logic_fo4 * tech.fo4_ps * 1e-3;
+        return r;
+    };
+
+    // TX drives one strobe per chunk wire plus reset/skip plus sync;
+    // critical path: counter increment -> comparator -> toggle flop.
+    _tx = make(tx_ge, _chunks / 2.0 + 2.0, 27.0);
+    // RX drives the ready/output latches only; critical path: toggle
+    // detect -> counter latch.
+    _rx = make(rx_ge, _chunks / 4.0 + 2.0, 26.0);
+}
+
+Joule
+DescSynthesisModel::interfaceEnergyPerBusyCycle() const
+{
+    const double avg_w =
+        (_tx.peak_power_mw + _rx.peak_power_mw) * 1e-3 * kAvgActivity;
+    return avg_w / (_clock_ghz * 1e9);
+}
+
+double
+DescSynthesisModel::roundTripDelayNs() const
+{
+    return _tx.delay_ns + _rx.delay_ns;
+}
+
+} // namespace desc::energy

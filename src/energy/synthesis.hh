@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Gate-level analytic area/power/delay model of the DESC interface.
+ *
+ * The paper synthesizes the transmitter and receiver in Verilog with
+ * Cadence RTL Compiler on FreePDK45 and scales to 22 nm (Table 3,
+ * Figure 17). This model rebuilds those three scalars from
+ * gate-equivalent counts of the circuits in Figures 8 and 11: per-chunk
+ * registers, comparators, toggle generators/detectors, skip logic, and
+ * the shared synchronized counters and strobe drivers.
+ */
+
+#ifndef DESC_ENERGY_SYNTHESIS_HH
+#define DESC_ENERGY_SYNTHESIS_HH
+
+#include "common/types.hh"
+#include "energy/tech.hh"
+
+namespace desc::energy {
+
+struct SynthesisResult
+{
+    double area_um2;
+    double peak_power_mw;
+    double delay_ns;
+};
+
+class DescSynthesisModel
+{
+  public:
+    DescSynthesisModel(unsigned chunks = 128, unsigned chunk_bits = 4,
+                       const TechParams &tech = tech22(),
+                       double clock_ghz = 3.2);
+
+    /** Transmitter figures (Figure 17, left bars). */
+    SynthesisResult transmitter() const { return _tx; }
+
+    /** Receiver figures (Figure 17, right bars). */
+    SynthesisResult receiver() const { return _rx; }
+
+    /**
+     * Average energy drawn by one TX+RX interface pair per cycle of an
+     * ongoing transfer (DESC consumes dynamic power only during
+     * transfers); used by the simulator's energy accounting.
+     */
+    Joule interfaceEnergyPerBusyCycle() const;
+
+    /** Logic delay added to the round-trip cache access (ns). */
+    double roundTripDelayNs() const;
+
+  private:
+    unsigned _chunks;
+    unsigned _chunk_bits;
+    double _clock_ghz;
+    SynthesisResult _tx;
+    SynthesisResult _rx;
+};
+
+} // namespace desc::energy
+
+#endif // DESC_ENERGY_SYNTHESIS_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Technology parameters for the CACTI-lite energy model.
+ *
+ * The paper evaluates ITRS high-performance (HP), low-operating-power
+ * (LOP), and low-standby-power (LSTP) devices at 22 nm (scaled from a
+ * 45 nm FreePDK synthesis, Table 3). The constants here are first-order
+ * representative values assembled from the ITRS roadmap and CACTI 6.5's
+ * published technology tables, evaluated at the paper's 350 K operating
+ * point. Absolute joules are approximate; all experiments report
+ * energies normalized to a baseline configuration, which is what the
+ * paper's figures show.
+ */
+
+#ifndef DESC_ENERGY_TECH_HH
+#define DESC_ENERGY_TECH_HH
+
+#include "common/types.hh"
+
+namespace desc::energy {
+
+/** ITRS device flavor used for SRAM cells and/or peripheral logic. */
+enum class Device { HP, LOP, LSTP };
+
+constexpr unsigned kNumDevices = 3;
+
+/** Short display name ("HP", "LOP", "LSTP"). */
+const char *deviceName(Device dev);
+
+/** Per-device electrical parameters. */
+struct DeviceParams
+{
+    /** Leakage power of one 6T SRAM cell at 350 K (nanowatts). */
+    double cell_leak_nw;
+
+    /**
+     * Ratio of peripheral-logic leakage to array leakage when the
+     * periphery uses this device (peripheral transistor count is a
+     * fixed fraction of the array, but HP logic leaks far more per
+     * transistor).
+     */
+    double periph_leak_factor;
+
+    /** Layout area of one SRAM cell including overhead (um^2). */
+    double cell_area_um2;
+
+    /** Dynamic energy to read one bit out of a mat (femtojoules). */
+    double cell_read_fj;
+
+    /** Array access time multiplier relative to HP devices. */
+    double access_time_factor;
+};
+
+/** Per-node electrical and geometric parameters. */
+struct TechParams
+{
+    unsigned node_nm;
+
+    /** Supply voltage (V) — Table 3 of the paper. */
+    double vdd;
+
+    /** Fanout-of-4 inverter delay (ps) — Table 3 of the paper. */
+    double fo4_ps;
+
+    /** Capacitance of a repeatered semi-global wire (fF per mm). */
+    double wire_cap_ff_per_mm;
+
+    /** Extra switched capacitance contributed by repeaters (fraction). */
+    double repeater_cap_overhead;
+
+    /** Signal velocity on a repeatered wire (ps per mm). */
+    double wire_delay_ps_per_mm;
+
+    /** Fixed driver/receiver energy per transition, independent of
+     *  wire length (fJ). */
+    double wire_driver_fj;
+
+    /** Area of a NAND2-equivalent standard cell (um^2). */
+    double gate_area_um2;
+
+    /** Average switched capacitance of a gate-equivalent (fF). */
+    double gate_cap_ff;
+
+    /** Parameters for each Device flavor. */
+    DeviceParams devices[kNumDevices];
+
+    const DeviceParams &
+    device(Device dev) const
+    {
+        return devices[static_cast<unsigned>(dev)];
+    }
+};
+
+/** 22 nm node (the paper's evaluation node). */
+const TechParams &tech22();
+
+/** 45 nm node (the paper's synthesis node, FreePDK45). */
+const TechParams &tech45();
+
+} // namespace desc::energy
+
+#endif // DESC_ENERGY_TECH_HH

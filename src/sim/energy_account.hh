@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Energy accounting: activity counts x per-event energies.
+ *
+ * Combines a simulation's activity statistics with the CACTI-lite
+ * per-event energies, the DESC synthesis model, and McPAT-lite into
+ * the L2 and whole-processor energy breakdowns every figure reports.
+ *
+ * Scheme-specific adders follow the paper:
+ *  - DESC interfaces draw power only during transfer windows
+ *    (synthesis model, Section 5.1);
+ *  - last-value skipping pays for the last-value tables at the cache
+ *    controller and for broadcasting write data across subbanks
+ *    (Section 5.2 — the reason it loses to zero skipping despite
+ *    skipping more chunks);
+ *  - the encoded zero-skipped bus-invert baseline pays encode/decode
+ *    logic energy;
+ *  - per the paper's footnote 4, the control logic of the DZC and
+ *    plain bus-invert baselines is not charged.
+ */
+
+#ifndef DESC_SIM_ENERGY_ACCOUNT_HH
+#define DESC_SIM_ENERGY_ACCOUNT_HH
+
+#include "energy/cacti.hh"
+#include "energy/mcpat.hh"
+#include "sim/system.hh"
+
+namespace desc::sim {
+
+/** L2 energy breakdown (Figure 2 / Figure 18 components). */
+struct L2Energy
+{
+    Joule htree_dynamic = 0.0; //!< data + control wire transitions
+    Joule array_dynamic = 0.0; //!< mats, tags, decoders
+    Joule aux_dynamic = 0.0;   //!< scheme-specific logic/tables
+    Joule static_energy = 0.0; //!< leakage over the whole run
+
+    Joule
+    dynamic() const
+    {
+        return htree_dynamic + array_dynamic + aux_dynamic;
+    }
+
+    Joule total() const { return dynamic() + static_energy; }
+};
+
+/** Compute the L2 energy of one finished simulation. */
+L2Energy computeL2Energy(const SystemConfig &cfg, const SimResult &r);
+
+/** Whole-processor energy (Figure 1 / Figure 19). */
+energy::ProcessorEnergy computeProcessorEnergy(const SystemConfig &cfg,
+                                               const SimResult &r,
+                                               const L2Energy &l2);
+
+} // namespace desc::sim
+
+#endif // DESC_SIM_ENERGY_ACCOUNT_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global cycle-ordered queue; components schedule callbacks
+ * at absolute cycles. Events at the same cycle run in scheduling
+ * order (FIFO), which keeps component interactions deterministic.
+ */
+
+#ifndef DESC_SIM_EVENTQ_HH
+#define DESC_SIM_EVENTQ_HH
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace desc::sim {
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb at absolute cycle @p when (>= now()). */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        DESC_ASSERT(when >= _now, "scheduling into the past: ", when,
+                    " < ", _now);
+        _heap.push(Event{when, _next_seq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb @p delta cycles from now. */
+    void
+    scheduleIn(Cycle delta, Callback cb)
+    {
+        schedule(_now + delta, std::move(cb));
+    }
+
+    Cycle now() const { return _now; }
+    bool empty() const { return _heap.empty(); }
+    std::size_t pending() const { return _heap.size(); }
+
+    /**
+     * Run events until the queue drains or simulated time exceeds
+     * @p limit. Returns the number of events executed.
+     */
+    std::uint64_t
+    run(Cycle limit = ~Cycle{0})
+    {
+        std::uint64_t executed = 0;
+        while (!_heap.empty()) {
+            const Event &top = _heap.top();
+            if (top.when > limit)
+                break;
+            _now = top.when;
+            // Move the callback out before popping so the event can
+            // schedule new events (including at the same cycle).
+            Callback cb = std::move(const_cast<Event &>(top).cb);
+            _heap.pop();
+            cb();
+            executed++;
+        }
+        return executed;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> _heap;
+    Cycle _now = 0;
+    std::uint64_t _next_seq = 0;
+};
+
+} // namespace desc::sim
+
+#endif // DESC_SIM_EVENTQ_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the experiment (bench) harnesses.
+ *
+ * Provides the paper's baseline machine configuration, the best
+ * per-scheme configurations selected in Section 4.1 / Figure 15, and
+ * a cached application runner so that each bench binary regenerates
+ * its figure with a few lines. The environment variable
+ * DESC_SIM_SCALE (default 1.0) scales simulated instruction counts
+ * for quicker or more precise runs.
+ */
+
+#ifndef DESC_SIM_EXPERIMENT_HH
+#define DESC_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/energy_account.hh"
+#include "sim/system.hh"
+
+namespace desc::sim {
+
+/** Instruction-budget multiplier from DESC_SIM_SCALE. */
+double simScale();
+
+/**
+ * The paper's baseline machine (Table 1 / Section 4.1): 8 SMT cores,
+ * 8MB 16-way L2, 8 banks, 64-bit data bus, LSTP cells and periphery,
+ * conventional binary encoding, two DDR3-1066 channels.
+ */
+SystemConfig baselineConfig(const workloads::AppParams &app);
+
+/**
+ * Switch a configuration to the given scheme using the paper's best
+ * per-scheme parameters (segment sizes from Figure 15; 128 wires and
+ * 4-bit chunks for DESC).
+ */
+void applyScheme(SystemConfig &cfg, encoding::SchemeKind kind);
+
+/** One simulated (app, config) data point with its energies. */
+struct AppRun
+{
+    SimResult result;
+    L2Energy l2;
+    energy::ProcessorEnergy processor;
+};
+
+/** Run one configuration (applies simScale() to the budget). */
+AppRun runApp(const SystemConfig &cfg);
+
+/** Short display name for figure rows (matches paper legends). */
+std::string shortSchemeName(encoding::SchemeKind kind);
+
+} // namespace desc::sim
+
+#endif // DESC_SIM_EXPERIMENT_HH

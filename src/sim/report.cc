@@ -1,0 +1,80 @@
+#include "sim/report.hh"
+
+#include <cstdio>
+
+#include "common/table.hh"
+
+namespace desc::sim {
+
+void
+printRunReport(const SystemConfig &cfg, const AppRun &run)
+{
+    const auto &h = run.result.hierarchy;
+    const auto &r = run.result;
+
+    std::printf("== %s | %s | %u banks | %u wires ==\n", cfg.app.name,
+                shortSchemeName(cfg.l2.scheme).c_str(),
+                cfg.l2.org.banks, cfg.l2.scheme_cfg.bus_wires);
+
+    Table perf({"metric", "value"});
+    perf.row().add("cycles").add(std::uint64_t{r.cycles});
+    perf.row().add("instructions").add(std::uint64_t{r.instructions});
+    perf.row().add("IPC").add(
+        double(r.instructions) / double(r.cycles), 3);
+    perf.row().add("L1D miss rate").add(
+        double(h.l1d_misses.value())
+            / double(std::max<std::uint64_t>(1, h.l1d_accesses.value())),
+        4);
+    perf.row().add("L1I miss rate").add(
+        double(h.l1i_misses.value())
+            / double(std::max<std::uint64_t>(1, h.l1i_accesses.value())),
+        4);
+    perf.row().add("L2 requests").add(
+        std::uint64_t{h.l2_requests.value()});
+    perf.row().add("L2 hit rate").add(
+        double(h.l2_hits.value())
+            / double(std::max<std::uint64_t>(
+                1, h.l2_hits.value() + h.l2_misses.value())),
+        3);
+    perf.row().add("L2 avg hit delay (cyc)").add(h.hit_latency.mean(),
+                                                 2);
+    perf.row().add("avg transfer window (cyc)").add(
+        h.transfer_window.mean(), 2);
+    perf.row().add("coherence recalls").add(
+        std::uint64_t{h.recalls.value()});
+    perf.row().add("DRAM reads").add(std::uint64_t{r.dram_reads});
+    perf.row().add("DRAM writes").add(std::uint64_t{r.dram_writes});
+    perf.print("performance");
+
+    Table energy({"component", "uJ", "share"});
+    double total = run.l2.total();
+    energy.row().add("H-tree dynamic").add(run.l2.htree_dynamic * 1e6,
+                                           3)
+        .add(run.l2.htree_dynamic / total, 3);
+    energy.row().add("array dynamic").add(run.l2.array_dynamic * 1e6, 3)
+        .add(run.l2.array_dynamic / total, 3);
+    energy.row().add("aux dynamic").add(run.l2.aux_dynamic * 1e6, 3)
+        .add(run.l2.aux_dynamic / total, 3);
+    energy.row().add("static").add(run.l2.static_energy * 1e6, 3)
+        .add(run.l2.static_energy / total, 3);
+    energy.row().add("L2 total").add(total * 1e6, 3).add(1.0, 3);
+    energy.row().add("processor total").add(
+        run.processor.total() * 1e6, 3)
+        .add(total / run.processor.total(), 3);
+    energy.print("energy (last column: share of L2 / L2 share of CPU)");
+}
+
+std::string
+summarizeRun(const SystemConfig &cfg, const AppRun &run)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%-10s %-9s cycles=%-10llu L2=%8.3fuJ CPU=%8.3fuJ",
+                  cfg.app.name,
+                  shortSchemeName(cfg.l2.scheme).c_str(),
+                  (unsigned long long)run.result.cycles,
+                  run.l2.total() * 1e6, run.processor.total() * 1e6);
+    return buf;
+}
+
+} // namespace desc::sim

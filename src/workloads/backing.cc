@@ -1,0 +1,26 @@
+#include "workloads/backing.hh"
+
+namespace desc::workloads {
+
+ValueBackingStore::ValueBackingStore(const AppParams &params,
+                                     std::uint64_t seed)
+    : _model(params, seed)
+{
+}
+
+const cache::Block512 &
+ValueBackingStore::fetch(Addr block_addr)
+{
+    auto it = _mem.find(block_addr);
+    if (it == _mem.end())
+        it = _mem.emplace(block_addr, _model.block(block_addr)).first;
+    return it->second;
+}
+
+void
+ValueBackingStore::store(Addr block_addr, const cache::Block512 &data)
+{
+    _mem[block_addr] = data;
+}
+
+} // namespace desc::workloads

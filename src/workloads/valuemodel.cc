@@ -1,0 +1,126 @@
+#include "workloads/valuemodel.hh"
+
+namespace desc::workloads {
+
+namespace {
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Values a palette slot draws from (small per-slot working set). */
+constexpr unsigned kSubPaletteSize = 3;
+
+} // namespace
+
+ValueModel::ValueModel(const AppParams &params, std::uint64_t seed)
+    : _p(params), _seed(seed ^ params.seed_salt)
+{
+    Rng rng(_seed ^ 0x9a1e77e);
+
+    // The palette mixes small structured values and FP-like constants;
+    // it is the main source of cross-block value repetition.
+    _palette.reserve(_p.palette_size);
+    for (unsigned i = 0; i < _p.palette_size; i++) {
+        switch (rng.below(5)) {
+          case 0: // small structured integer
+            _palette.push_back(rng.below(1u << 16));
+            break;
+          case 1: // pointer-like (shared upper bits)
+            _palette.push_back(0x00007f0000000000ULL
+                               | (rng.next() & 0xffffffffffULL & ~0x3fULL));
+            break;
+          default: // FP-like constant (shared exponent, rich mantissa)
+            _palette.push_back(0x3ff0000000000000ULL
+                               | (rng.next() & 0xfffffffffffffULL));
+            break;
+        }
+    }
+
+    // Fixed structure layout: assign a field class to each of the
+    // eight word slots according to the application's class mix.
+    // Stratified sampling keeps the realized slot counts within one
+    // of the target fractions (plain per-slot draws would let a
+    // zero-light app randomly end up with half its slots zero).
+    double rest = 1.0 - _p.zero_word - _p.small_word - _p.palette_word;
+    double fp_frac = rest * 0.7;
+    const double cuts[4] = {
+        _p.zero_word,
+        _p.zero_word + _p.small_word,
+        _p.zero_word + _p.small_word + _p.palette_word,
+        _p.zero_word + _p.small_word + _p.palette_word + fp_frac,
+    };
+    double jitter = rng.uniform();
+    for (unsigned s = 0; s < 8; s++) {
+        double x = (s + jitter) / 8.0;
+        if (x < cuts[0])
+            _layout[s] = FieldClass::Zero;
+        else if (x < cuts[1])
+            _layout[s] = FieldClass::SmallInt;
+        else if (x < cuts[2])
+            _layout[s] = FieldClass::Palette;
+        else if (x < cuts[3])
+            _layout[s] = FieldClass::FpLike;
+        else
+            _layout[s] = FieldClass::Random;
+        _subpalette[s] = unsigned(rng.below(_p.palette_size));
+        // One of a few shared exponents per FP slot (array of doubles
+        // in a similar numeric range).
+        _fp_exponent[s] = (0x3fcull + rng.below(4)) << 52;
+    }
+    // Shuffle the slot order so field classes are not sorted.
+    for (unsigned s = 8; s-- > 1;) {
+        unsigned j = unsigned(rng.below(s + 1));
+        std::swap(_layout[s], _layout[j]);
+    }
+}
+
+ValueModel::FieldClass
+ValueModel::classAt(Addr word_addr) const
+{
+    return _layout[(word_addr >> 3) & 7];
+}
+
+std::uint64_t
+ValueModel::wordAt(Addr word_addr, Rng &rng) const
+{
+    unsigned slot = unsigned((word_addr >> 3) & 7);
+    switch (_layout[slot]) {
+      case FieldClass::Zero:
+        return 0;
+      case FieldClass::SmallInt:
+        return rng.below(1u << 12);
+      case FieldClass::Palette: {
+        unsigned idx = (_subpalette[slot] + unsigned(rng.below(
+                            kSubPaletteSize)))
+            % _p.palette_size;
+        return _palette[idx];
+      }
+      case FieldClass::FpLike:
+        return _fp_exponent[slot] | (rng.next() & 0xfffffffffffffULL);
+      case FieldClass::Random:
+        return rng.next();
+    }
+    return 0;
+}
+
+cache::Block512
+ValueModel::block(Addr block_addr) const
+{
+    Rng rng(mix(block_addr ^ _seed));
+    cache::Block512 out{};
+    if (rng.chance(_p.null_block))
+        return out; // null block
+    for (unsigned w = 0; w < 8; w++)
+        out[w] = wordAt(block_addr + w * 8, rng);
+    return out;
+}
+
+} // namespace desc::workloads

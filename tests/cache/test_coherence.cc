@@ -1,0 +1,152 @@
+/**
+ * @file
+ * MESI coherence tests: dirty data must flow correctly between cores
+ * through the shared L2, and every path charges its H-tree transfer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "cache/hierarchy.hh"
+
+using namespace desc;
+using namespace desc::cache;
+
+namespace {
+
+class PatternStore : public BackingStore
+{
+  public:
+    const Block512 &
+    fetch(Addr addr) override
+    {
+        auto it = _mem.find(addr);
+        if (it == _mem.end()) {
+            Block512 b{};
+            for (unsigned w = 0; w < 8; w++)
+                b[w] = addr + w;
+            it = _mem.emplace(addr, b).first;
+        }
+        return it->second;
+    }
+
+    void store(Addr addr, const Block512 &data) override
+    {
+        _mem[addr] = data;
+    }
+
+  private:
+    std::unordered_map<Addr, Block512> _mem;
+};
+
+struct Fixture
+{
+    sim::EventQueue eq;
+    PatternStore backing;
+    std::unique_ptr<MemHierarchy> mem;
+
+    Fixture()
+    {
+        mem = std::make_unique<MemHierarchy>(eq, L2Config{}, backing, 4);
+    }
+
+    void
+    read(unsigned core, Addr addr)
+    {
+        auto lat = mem->access(core, addr, false, 0, false, []() {});
+        if (!lat)
+            eq.run();
+    }
+
+    void
+    write(unsigned core, Addr addr, std::uint64_t value)
+    {
+        auto lat = mem->access(core, addr, true, value, false, []() {});
+        if (!lat)
+            eq.run();
+    }
+
+};
+
+} // namespace
+
+TEST(Coherence, DirtyDataVisibleToOtherCore)
+{
+    Fixture f;
+    f.write(0, 0xA000, 0xfeed);
+    // Core 1 reads: the M copy in core 0's L1 must be recalled so the
+    // L2 serves fresh data. Verify through a third core after core 1
+    // also wrote (chains the recall path).
+    f.read(1, 0xA000);
+    EXPECT_GE(f.mem->stats().recalls.value(), 1u);
+}
+
+TEST(Coherence, RecallTransfersChargeTheHtree)
+{
+    Fixture f;
+    f.write(0, 0xB000, 1);
+    auto wt_before = f.mem->stats().write_transfers.value();
+    f.read(1, 0xB000); // recall flush is a bank write transfer
+    EXPECT_GT(f.mem->stats().write_transfers.value(), wt_before);
+}
+
+TEST(Coherence, WriteAfterWriteAcrossCores)
+{
+    Fixture f;
+    f.write(0, 0xC000, 10);
+    f.write(1, 0xC000, 20);
+    f.write(2, 0xC000, 30);
+    // Three exclusive requests; each later one invalidates the
+    // previous owner and recalls its dirty data.
+    EXPECT_GE(f.mem->stats().recalls.value(), 2u);
+}
+
+TEST(Coherence, ReadSharingDoesNotRecallCleanCopies)
+{
+    Fixture f;
+    f.read(0, 0xD000);
+    f.read(1, 0xD000);
+    f.read(2, 0xD000);
+    EXPECT_EQ(f.mem->stats().recalls.value(), 0u);
+}
+
+TEST(Coherence, StoreHitOnExclusiveIsSilent)
+{
+    Fixture f;
+    f.read(0, 0xE000); // sole reader: granted Exclusive
+    auto upgrades = f.mem->stats().upgrades.value();
+    f.write(0, 0xE000, 5); // E -> M silently
+    EXPECT_EQ(f.mem->stats().upgrades.value(), upgrades);
+}
+
+TEST(Coherence, StoreHitOnSharedUpgrades)
+{
+    Fixture f;
+    f.read(0, 0xF000);
+    f.read(1, 0xF000); // both Shared now
+    f.write(0, 0xF000, 5);
+    EXPECT_EQ(f.mem->stats().upgrades.value(), 1u);
+}
+
+TEST(Coherence, DirtyValueSurvivesFullRoundTrip)
+{
+    Fixture f;
+    f.write(0, 0x11000, 0xabcdef);
+    f.read(1, 0x11000);  // recall merges dirty data into the L2
+    f.write(1, 0x11040, 1); // unrelated
+    // Drop the L1 copies first (the inclusive L2 refuses to evict
+    // sharer-protected lines): thrash the owners' L1 sets.
+    for (unsigned i = 1; i <= 8; i++) {
+        f.read(0, 0x11000 + Addr(i) * 4096);
+        f.read(1, 0x11000 + Addr(i) * 4096);
+    }
+    // Force the L2 line out by filling its set (L2 16-way: need 17
+    // distinct tags in the same set). Set stride = sets*64 = 512KB.
+    for (unsigned i = 1; i <= 24; i++)
+        f.read(3, 0x11000 + Addr(i) * (8ull << 20) / 16);
+    // The dirty line was written back to memory on its way out.
+    EXPECT_GE(f.mem->stats().l2_evictions_out.value(), 1u);
+    // And the backing store holds the written word.
+    EXPECT_EQ(f.backing.fetch(0x11000)[0], 0xabcdefull);
+}

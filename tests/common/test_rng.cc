@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+using desc::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; i++) {
+        if (a.next() == b.next())
+            equal++;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(5);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; i++)
+        seen[rng.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, BetweenInclusiveBounds)
+{
+    Rng rng(11);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 5000; i++) {
+        auto v = rng.between(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        lo |= v == 3;
+        hi |= v == 6;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; i++) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; i++)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for counters, averages, histograms, and geomean.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace desc;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, MergeAdds)
+{
+    Counter a, b;
+    a.inc(3);
+    b.inc(7);
+    a += b;
+    EXPECT_EQ(a.value(), 10u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyMeanIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Average, MergeCombines)
+{
+    Average a, b;
+    a.sample(1.0);
+    a.sample(3.0);
+    b.sample(5.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, MergeIntoEmpty)
+{
+    Average a, b;
+    b.sample(2.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Histogram, BinsAndFractions)
+{
+    Histogram h(4);
+    h.sample(0, 3);
+    h.sample(2);
+    EXPECT_EQ(h.bin(0), 3u);
+    EXPECT_EQ(h.bin(2), 1u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+TEST(Histogram, OverflowCounted)
+{
+    Histogram h(4);
+    h.sample(10);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, MeanWeighted)
+{
+    Histogram h(8);
+    h.sample(2, 2);
+    h.sample(4, 2);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, MergeAccumulates)
+{
+    Histogram a(4), b(4);
+    a.sample(1);
+    b.sample(1);
+    b.sample(3);
+    a.merge(b);
+    EXPECT_EQ(a.bin(1), 2u);
+    EXPECT_EQ(a.bin(3), 1u);
+    EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Geomean, MatchesHandComputation)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Property-based equivalence suite: the behavioral DescScheme must
+ * agree bit-exactly with the cycle-accurate transmitter/receiver pair
+ * on cycles, data transitions, and control transitions, across the
+ * whole configuration space and across value distributions, and the
+ * receiver must always recover the transmitted block.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hh"
+#include "core/descscheme.hh"
+#include "core/link.hh"
+
+using namespace desc;
+using namespace desc::core;
+
+namespace {
+
+/** (wires, chunk_bits, skip mode) */
+using Param = std::tuple<unsigned, unsigned, SkipMode>;
+
+/** Draw a block whose chunk values are biased toward zero and toward
+ *  repeating the previous block, like real cache traffic. */
+BitVec
+biasedBlock(Rng &rng, const BitVec &prev, unsigned chunk_bits,
+            double zero_p, double repeat_p)
+{
+    BitVec block(prev.width());
+    for (unsigned pos = 0; pos < block.width(); pos += chunk_bits) {
+        double u = rng.uniform();
+        std::uint64_t v;
+        if (u < zero_p)
+            v = 0;
+        else if (u < zero_p + repeat_p)
+            v = prev.field(pos, chunk_bits);
+        else
+            v = rng.below(std::uint64_t{1} << chunk_bits);
+        block.setField(pos, chunk_bits, v);
+    }
+    return block;
+}
+
+} // namespace
+
+class DescEquivalence : public ::testing::TestWithParam<Param>
+{
+  protected:
+    DescConfig
+    config() const
+    {
+        auto [wires, chunk_bits, skip] = GetParam();
+        DescConfig c;
+        c.bus_wires = wires;
+        c.chunk_bits = chunk_bits;
+        c.block_bits = kBlockBits;
+        c.skip = skip;
+        return c;
+    }
+};
+
+TEST_P(DescEquivalence, BehavioralMatchesCycleAccurate)
+{
+    DescConfig cfg = config();
+    DescLink link(cfg);
+    DescScheme scheme(cfg);
+    Rng rng(0xec0de + cfg.bus_wires * 31 + cfg.chunk_bits);
+
+    BitVec prev(kBlockBits);
+    for (int i = 0; i < 40; i++) {
+        BitVec block = biasedBlock(rng, prev, cfg.chunk_bits, 0.3, 0.2);
+        prev = block;
+
+        BitVec recv;
+        auto hw = link.transferBlock(block, &recv);
+        auto model = scheme.transfer(block);
+
+        ASSERT_EQ(recv, block) << "round-trip corruption at block " << i;
+        EXPECT_EQ(model.cycles, hw.cycles) << "block " << i;
+        EXPECT_EQ(model.data_flips, hw.data_flips) << "block " << i;
+        EXPECT_EQ(model.control_flips, hw.control_flips) << "block " << i;
+        EXPECT_EQ(model.skipped, hw.skipped) << "block " << i;
+    }
+}
+
+TEST_P(DescEquivalence, AllZeroAndAllOnesBlocks)
+{
+    DescConfig cfg = config();
+    DescLink link(cfg);
+    DescScheme scheme(cfg);
+
+    BitVec zeros(kBlockBits);
+    BitVec ones(kBlockBits);
+    ones.invertRange(0, kBlockBits);
+
+    for (const BitVec &block : {zeros, ones, zeros, zeros, ones}) {
+        BitVec recv;
+        auto hw = link.transferBlock(block, &recv);
+        auto model = scheme.transfer(block);
+        ASSERT_EQ(recv, block);
+        EXPECT_EQ(model.cycles, hw.cycles);
+        EXPECT_EQ(model.data_flips, hw.data_flips);
+        EXPECT_EQ(model.control_flips, hw.control_flips);
+    }
+}
+
+TEST_P(DescEquivalence, DataFlipsNeverExceedChunkCount)
+{
+    DescConfig cfg = config();
+    DescScheme scheme(cfg);
+    Rng rng(77);
+    BitVec prev(kBlockBits);
+    for (int i = 0; i < 50; i++) {
+        BitVec block = biasedBlock(rng, prev, cfg.chunk_bits, 0.1, 0.1);
+        prev = block;
+        auto r = scheme.transfer(block);
+        EXPECT_LE(r.data_flips, cfg.numChunks());
+        EXPECT_EQ(r.data_flips + r.skipped, cfg.numChunks());
+    }
+}
+
+TEST_P(DescEquivalence, WindowBoundedByWorstCase)
+{
+    DescConfig cfg = config();
+    DescScheme scheme(cfg);
+    Rng rng(78);
+    // Worst case per wave is the largest pulse delay; basic mode
+    // additionally streams numWaves chunks per wire back to back.
+    const Cycle max_delay = (Cycle{1} << cfg.chunk_bits);
+    const Cycle bound = 1 + cfg.numWaves() * max_delay;
+    BitVec prev(kBlockBits);
+    for (int i = 0; i < 50; i++) {
+        BitVec block = biasedBlock(rng, prev, cfg.chunk_bits, 0.3, 0.3);
+        prev = block;
+        EXPECT_LE(scheme.transfer(block).cycles, bound);
+    }
+}
+
+namespace {
+
+std::string
+paramName(const ::testing::TestParamInfo<Param> &info)
+{
+    unsigned wires = std::get<0>(info.param);
+    unsigned bits = std::get<1>(info.param);
+    SkipMode skip = std::get<2>(info.param);
+    std::string name = "w" + std::to_string(wires) + "_c"
+        + std::to_string(bits) + "_";
+    switch (skip) {
+      case SkipMode::None:
+        name += "basic";
+        break;
+      case SkipMode::Zero:
+        name += "zero";
+        break;
+      case SkipMode::LastValue:
+        name += "last";
+        break;
+      case SkipMode::Adaptive:
+        name += "adaptive";
+        break;
+    }
+    return name;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, DescEquivalence,
+    ::testing::Combine(
+        ::testing::Values(16u, 32u, 64u, 128u, 256u),
+        ::testing::Values(1u, 2u, 4u, 8u),
+        ::testing::Values(SkipMode::None, SkipMode::Zero,
+                          SkipMode::LastValue, SkipMode::Adaptive)),
+    paramName);

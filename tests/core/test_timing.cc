@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the DESC pulse-delay/value mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/timing.hh"
+
+using desc::core::chunkCycles;
+using desc::core::decodeCycles;
+
+TEST(Timing, BasicModeIsValuePlusOne)
+{
+    // Figure 5: value 2 takes 3 cycles, value 1 takes 2 cycles.
+    EXPECT_EQ(chunkCycles(2, false, 0), 3u);
+    EXPECT_EQ(chunkCycles(1, false, 0), 2u);
+    EXPECT_EQ(chunkCycles(0, false, 0), 1u);
+    EXPECT_EQ(chunkCycles(15, false, 0), 16u);
+}
+
+TEST(Timing, SkippingExcludesSkipValueFromCountList)
+{
+    // Figure 10: with zero skipping, value 5 needs a 5-cycle window
+    // instead of 6.
+    EXPECT_EQ(chunkCycles(5, true, 0), 5u);
+    EXPECT_EQ(chunkCycles(1, true, 0), 1u);
+    EXPECT_EQ(chunkCycles(15, true, 0), 15u);
+}
+
+TEST(Timing, SkipValueInMiddleSplitsTheList)
+{
+    // Skip value 7: values below keep v+1, values above compress to v.
+    EXPECT_EQ(chunkCycles(0, true, 7), 1u);
+    EXPECT_EQ(chunkCycles(6, true, 7), 7u);
+    EXPECT_EQ(chunkCycles(8, true, 7), 8u);
+    EXPECT_EQ(chunkCycles(15, true, 7), 15u);
+}
+
+TEST(Timing, DecodeInvertsEncodeWithoutSkipping)
+{
+    for (std::uint64_t v = 0; v < 256; v++)
+        EXPECT_EQ(decodeCycles(chunkCycles(v, false, 0), false, 0), v);
+}
+
+TEST(Timing, DecodeInvertsEncodeForEverySkipValue)
+{
+    for (std::uint64_t s = 0; s < 16; s++) {
+        for (std::uint64_t v = 0; v < 16; v++) {
+            if (v == s)
+                continue;
+            EXPECT_EQ(decodeCycles(chunkCycles(v, true, s), true, s), v)
+                << "skip=" << s << " value=" << v;
+        }
+    }
+}
+
+TEST(Timing, EncodingIsInjectivePerSkipValue)
+{
+    // Two distinct transmittable values never share a pulse delay.
+    for (std::uint64_t s = 0; s < 16; s++) {
+        bool used[17] = {};
+        for (std::uint64_t v = 0; v < 16; v++) {
+            if (v == s)
+                continue;
+            unsigned c = chunkCycles(v, true, s);
+            ASSERT_LE(c, 16u);
+            EXPECT_FALSE(used[c]) << "collision at delay " << c;
+            used[c] = true;
+        }
+    }
+}
+
+TEST(Timing, SkippingNeverLengthensAnyChunk)
+{
+    for (std::uint64_t s = 0; s < 16; s++)
+        for (std::uint64_t v = 0; v < 16; v++) {
+            if (v == s)
+                continue;
+            EXPECT_LE(chunkCycles(v, true, s), chunkCycles(v, false, 0));
+        }
+}
+
+TEST(TimingDeath, TransmittingTheSkipValuePanics)
+{
+    EXPECT_DEATH(chunkCycles(3, true, 3), "assertion failed");
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the toggle generator/detector/regenerator circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/toggle.hh"
+
+using namespace desc::core;
+
+TEST(ToggleGenerator, AlternatesLevels)
+{
+    ToggleGenerator tg;
+    EXPECT_FALSE(tg.level());
+    tg.fire();
+    EXPECT_TRUE(tg.level());
+    tg.fire();
+    EXPECT_FALSE(tg.level());
+}
+
+TEST(ToggleGenerator, ResetReturnsLow)
+{
+    ToggleGenerator tg;
+    tg.fire();
+    tg.reset();
+    EXPECT_FALSE(tg.level());
+}
+
+TEST(ToggleDetector, DetectsEveryLevelChange)
+{
+    ToggleDetector td;
+    EXPECT_FALSE(td.sample(false));
+    EXPECT_TRUE(td.sample(true));
+    EXPECT_FALSE(td.sample(true));
+    EXPECT_TRUE(td.sample(false));
+}
+
+TEST(ToggleDetector, GeneratorDetectorPairRoundTrips)
+{
+    ToggleGenerator tg;
+    ToggleDetector td;
+    td.sample(tg.level());
+    int detected = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i % 3 == 0)
+            tg.fire();
+        if (td.sample(tg.level()))
+            detected++;
+    }
+    EXPECT_EQ(detected, 4); // fires at i = 0, 3, 6, 9
+}
+
+TEST(ToggleRegenerator, ForwardsSelectedBranchOnly)
+{
+    ToggleRegenerator tr;
+    // Branch 0 selected; its toggle propagates.
+    EXPECT_FALSE(tr.sample(false, false, false));
+    EXPECT_TRUE(tr.sample(true, false, false));
+    // Branch 1 toggling while branch 0 is selected: no output change.
+    EXPECT_TRUE(tr.sample(true, true, false));
+    EXPECT_TRUE(tr.sample(true, false, false));
+}
+
+TEST(ToggleRegenerator, RemembersPerBranchState)
+{
+    ToggleRegenerator tr;
+    tr.sample(false, false, false);
+    tr.sample(true, false, false);   // branch0 -> high, output toggles
+    bool lvl = tr.level();
+    // Switch selection to branch 1 (still low = its remembered state):
+    // no spurious toggle.
+    tr.sample(true, false, true);
+    EXPECT_EQ(tr.level(), lvl);
+    // Branch 1 toggles: output toggles.
+    tr.sample(true, true, true);
+    EXPECT_NE(tr.level(), lvl);
+}

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the cycle-accurate DESC transmitter/receiver pair,
+ * including the paper's worked examples (Figures 5 and 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/chunk.hh"
+#include "core/link.hh"
+
+using namespace desc;
+using namespace desc::core;
+
+namespace {
+
+DescConfig
+makeCfg(unsigned wires, unsigned chunk_bits, unsigned block_bits,
+        SkipMode skip)
+{
+    DescConfig c;
+    c.bus_wires = wires;
+    c.chunk_bits = chunk_bits;
+    c.block_bits = block_bits;
+    c.skip = skip;
+    return c;
+}
+
+BitVec
+blockOfChunks(const std::vector<std::uint8_t> &chunks, unsigned chunk_bits)
+{
+    return joinChunks(chunks, chunk_bits,
+                      unsigned(chunks.size()) * chunk_bits);
+}
+
+} // namespace
+
+TEST(TxRx, Figure5TwoThreeBitChunksOneWire)
+{
+    // Two 3-bit chunks (2, then 1) on a single data wire: value 2
+    // occupies 3 cycles, value 1 occupies 2 (Figure 5), plus the
+    // opening reset pulse.
+    auto cfg = makeCfg(1, 3, 6, SkipMode::None);
+    DescLink link(cfg);
+    BitVec recv;
+    auto r = link.transferBlock(blockOfChunks({2, 1}, 3), &recv);
+    EXPECT_EQ(recv, blockOfChunks({2, 1}, 3));
+    EXPECT_EQ(r.cycles, 1u + 3u + 2u);
+    EXPECT_EQ(r.data_flips, 2u);
+    // Control: 1 reset pulse + one sync transition per cycle.
+    EXPECT_EQ(r.control_flips, 1u + r.cycles);
+}
+
+TEST(TxRx, Figure10aBasicWindow)
+{
+    // Four 3-bit chunks (0, 0, 5, 0) on four wires, no skipping: the
+    // window is bounded by the largest value (6 cycles) plus the
+    // opening pulse; every chunk costs one transition.
+    auto cfg = makeCfg(4, 3, 12, SkipMode::None);
+    DescLink link(cfg);
+    BitVec recv;
+    auto r = link.transferBlock(blockOfChunks({0, 0, 5, 0}, 3), &recv);
+    EXPECT_EQ(recv, blockOfChunks({0, 0, 5, 0}, 3));
+    EXPECT_EQ(r.cycles, 1u + 6u);
+    EXPECT_EQ(r.data_flips, 4u);
+}
+
+TEST(TxRx, Figure10bZeroSkippedWindow)
+{
+    // Same chunks with zero skipping: only the 5 is transmitted
+    // (5-cycle window), the closing pulse fills the zeros; reset/skip
+    // toggles twice and the data wires once -- three non-sync flips.
+    auto cfg = makeCfg(4, 3, 12, SkipMode::Zero);
+    DescLink link(cfg);
+    BitVec recv;
+    auto r = link.transferBlock(blockOfChunks({0, 0, 5, 0}, 3), &recv);
+    EXPECT_EQ(recv, blockOfChunks({0, 0, 5, 0}, 3));
+    EXPECT_EQ(r.cycles, 1u + 5u);
+    EXPECT_EQ(r.data_flips, 1u);
+    EXPECT_EQ(r.skipped, 3u);
+    EXPECT_EQ(r.control_flips, 2u + r.cycles); // open+close, + sync
+}
+
+TEST(TxRx, AllZeroBlockWithZeroSkippingIsTwoPulses)
+{
+    auto cfg = makeCfg(128, 4, kBlockBits, SkipMode::Zero);
+    DescLink link(cfg);
+    BitVec recv;
+    auto r = link.transferBlock(BitVec(kBlockBits), &recv);
+    EXPECT_TRUE(recv.allZero());
+    EXPECT_EQ(r.data_flips, 0u);
+    EXPECT_EQ(r.cycles, 2u);           // open pulse + close pulse
+    EXPECT_EQ(r.skipped, 128u);
+    EXPECT_EQ(r.control_flips, 2u + r.cycles);
+}
+
+TEST(TxRx, BasicModeAlwaysOneFlipPerChunk)
+{
+    Rng rng(21);
+    auto cfg = makeCfg(128, 4, kBlockBits, SkipMode::None);
+    DescLink link(cfg);
+    for (int i = 0; i < 20; i++) {
+        BitVec block(kBlockBits);
+        block.randomize(rng);
+        BitVec recv;
+        auto r = link.transferBlock(block, &recv);
+        EXPECT_EQ(recv, block);
+        EXPECT_EQ(r.data_flips, 128u);
+    }
+}
+
+TEST(TxRx, LastValueSkipRepeatedBlockIsSilent)
+{
+    auto cfg = makeCfg(128, 4, kBlockBits, SkipMode::LastValue);
+    DescLink link(cfg);
+    Rng rng(22);
+    BitVec block(kBlockBits);
+    block.randomize(rng);
+    BitVec recv;
+    link.transferBlock(block, &recv);
+    EXPECT_EQ(recv, block);
+    // Second transmission of the same block: every chunk equals the
+    // last value on its wire, so all 128 are skipped.
+    auto r = link.transferBlock(block, &recv);
+    EXPECT_EQ(recv, block);
+    EXPECT_EQ(r.data_flips, 0u);
+    EXPECT_EQ(r.skipped, 128u);
+    EXPECT_EQ(r.cycles, 2u);
+}
+
+TEST(TxRx, MultiWaveTransferRoundTrips)
+{
+    // 64 wires, 128 chunks -> two waves per block.
+    Rng rng(23);
+    for (SkipMode skip :
+         {SkipMode::None, SkipMode::Zero, SkipMode::LastValue}) {
+        auto cfg = makeCfg(64, 4, kBlockBits, skip);
+        DescLink link(cfg);
+        for (int i = 0; i < 10; i++) {
+            BitVec block(kBlockBits);
+            block.randomize(rng);
+            BitVec recv;
+            link.transferBlock(block, &recv);
+            EXPECT_EQ(recv, block) << "skip mode "
+                                   << skipModeName(skip);
+        }
+    }
+}
+
+TEST(TxRx, BackToBackBlocksShareWireState)
+{
+    // Toggle signaling has no idle return: a second block must decode
+    // correctly starting from whatever levels the first one left.
+    auto cfg = makeCfg(16, 4, 64, SkipMode::Zero);
+    DescLink link(cfg);
+    Rng rng(24);
+    for (int i = 0; i < 50; i++) {
+        BitVec block(64);
+        block.randomize(rng);
+        BitVec recv;
+        link.transferBlock(block, &recv);
+        ASSERT_EQ(recv, block) << "iteration " << i;
+    }
+}
+
+TEST(TxRx, TransmitterTracksLastValues)
+{
+    auto cfg = makeCfg(4, 4, 16, SkipMode::Zero);
+    DescTransmitter tx(cfg);
+    DescReceiver rx(cfg);
+    BitVec block(16, 0x4321);
+    tx.loadBlock(block);
+    while (tx.busy()) {
+        tx.tick();
+        rx.observe(tx.wires());
+    }
+    ASSERT_TRUE(rx.blockReady());
+    EXPECT_EQ(tx.lastValues()[0], 0x1);
+    EXPECT_EQ(tx.lastValues()[3], 0x4);
+    EXPECT_EQ(rx.lastValues(), tx.lastValues());
+}
+
+TEST(TxRxDeath, LoadWhileBusyPanics)
+{
+    auto cfg = makeCfg(4, 4, 16, SkipMode::None);
+    DescTransmitter tx(cfg);
+    tx.loadBlock(BitVec(16, 1));
+    EXPECT_DEATH(tx.loadBlock(BitVec(16, 2)), "in flight");
+}
+
+TEST(TxRx, ResetRestoresIdle)
+{
+    auto cfg = makeCfg(8, 4, 32, SkipMode::Zero);
+    DescLink link(cfg);
+    Rng rng(25);
+    BitVec block(32);
+    block.randomize(rng);
+    link.transferBlock(block);
+    link.reset();
+    // After reset both ends are back in the initial state: an all-zero
+    // transfer costs exactly the two pulses again.
+    BitVec recv;
+    auto r = link.transferBlock(BitVec(32), &recv);
+    EXPECT_TRUE(recv.allZero());
+    EXPECT_EQ(r.data_flips, 0u);
+}

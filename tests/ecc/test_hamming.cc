@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit and property tests for the SECDED Hamming codes, including the
+ * paper's (72, 64) and (137, 128) instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/hamming.hh"
+
+using namespace desc;
+using namespace desc::ecc;
+
+TEST(Secded, PaperCodeDimensions)
+{
+    // Section 3.2.3: the (72, 64) and (137, 128) Hamming codes.
+    SecdedCode c64(64);
+    EXPECT_EQ(c64.codeBits(), 72u);
+    EXPECT_EQ(c64.parityBits(), 8u);
+
+    SecdedCode c128(128);
+    EXPECT_EQ(c128.codeBits(), 137u);
+    EXPECT_EQ(c128.parityBits(), 9u);
+}
+
+TEST(Secded, CleanRoundTrip)
+{
+    Rng rng(1);
+    for (unsigned data_bits : {8u, 64u, 128u}) {
+        SecdedCode code(data_bits);
+        for (int i = 0; i < 50; i++) {
+            BitVec data(data_bits);
+            data.randomize(rng);
+            auto decoded = code.decode(code.encode(data));
+            EXPECT_EQ(decoded.status, EccStatus::Ok);
+            EXPECT_EQ(decoded.data, data);
+        }
+    }
+}
+
+TEST(Secded, SystematicLayoutKeepsDataInPlace)
+{
+    // Data must stay in standard binary format so the SRAM arrays are
+    // unmodified (Section 3.2.3).
+    Rng rng(2);
+    SecdedCode code(64);
+    BitVec data(64);
+    data.randomize(rng);
+    BitVec word = code.encode(data);
+    for (unsigned i = 0; i < 64; i++)
+        EXPECT_EQ(word.bit(i), data.bit(i));
+}
+
+class SecdedParam : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SecdedParam, EverySingleBitErrorIsCorrected)
+{
+    unsigned data_bits = GetParam();
+    SecdedCode code(data_bits);
+    Rng rng(3 + data_bits);
+    BitVec data(data_bits);
+    data.randomize(rng);
+    BitVec word = code.encode(data);
+
+    for (unsigned pos = 0; pos < code.codeBits(); pos++) {
+        BitVec bad = word;
+        bad.flipBit(pos);
+        auto decoded = code.decode(bad);
+        EXPECT_EQ(decoded.status, EccStatus::Corrected)
+            << "flip at " << pos;
+        EXPECT_EQ(decoded.data, data) << "flip at " << pos;
+    }
+}
+
+TEST_P(SecdedParam, EveryDoubleBitErrorIsDetected)
+{
+    unsigned data_bits = GetParam();
+    SecdedCode code(data_bits);
+    Rng rng(4 + data_bits);
+    BitVec data(data_bits);
+    data.randomize(rng);
+    BitVec word = code.encode(data);
+
+    // Exhaustive for the small code; sampled for the large ones.
+    unsigned n = code.codeBits();
+    unsigned trials = data_bits <= 16 ? 0 : 500;
+    if (trials == 0) {
+        for (unsigned i = 0; i < n; i++) {
+            for (unsigned j = i + 1; j < n; j++) {
+                BitVec bad = word;
+                bad.flipBit(i);
+                bad.flipBit(j);
+                EXPECT_EQ(code.decode(bad).status,
+                          EccStatus::DetectedDouble)
+                    << "flips at " << i << "," << j;
+            }
+        }
+    } else {
+        for (unsigned t = 0; t < trials; t++) {
+            unsigned i = unsigned(rng.below(n));
+            unsigned j = unsigned(rng.below(n));
+            if (i == j)
+                continue;
+            BitVec bad = word;
+            bad.flipBit(i);
+            bad.flipBit(j);
+            EXPECT_EQ(code.decode(bad).status,
+                      EccStatus::DetectedDouble)
+                << "flips at " << i << "," << j;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, SecdedParam,
+                         ::testing::Values(8u, 16u, 64u, 128u));
+
+TEST(Secded, StatusNames)
+{
+    EXPECT_STREQ(eccStatusName(EccStatus::Ok), "ok");
+    EXPECT_STREQ(eccStatusName(EccStatus::Corrected), "corrected");
+    EXPECT_STREQ(eccStatusName(EccStatus::DetectedDouble),
+                 "double-error");
+}

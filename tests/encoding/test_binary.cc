@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for conventional binary (parallel/serial) transfer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "encoding/binary.hh"
+
+using namespace desc;
+using namespace desc::encoding;
+
+namespace {
+
+SchemeConfig
+cfg(unsigned wires, unsigned block_bits = kBlockBits)
+{
+    SchemeConfig c;
+    c.bus_wires = wires;
+    c.block_bits = block_bits;
+    return c;
+}
+
+} // namespace
+
+TEST(Binary, ParallelByteMatchesPaperFigure3a)
+{
+    // One byte over eight wires starting from all-zero wires: the
+    // transition count is the byte's population count (4 for
+    // 01010011).
+    BinaryScheme s(cfg(8, 8));
+    BitVec byte(8, 0b01010011);
+    auto r = s.transfer(byte);
+    EXPECT_EQ(r.cycles, 1u);
+    EXPECT_EQ(r.data_flips, 4u);
+    EXPECT_EQ(r.control_flips, 0u);
+}
+
+TEST(Binary, SerialTransferCountsLevelChanges)
+{
+    // One wire, eight beats, LSB first: 1,1,0,0,1,0,1,0 from idle 0
+    // makes 6 level changes.
+    BinaryScheme s(cfg(1, 8));
+    BitVec byte(8, 0b01010011);
+    auto r = s.transfer(byte);
+    EXPECT_EQ(r.cycles, 8u);
+    EXPECT_EQ(r.data_flips, 6u);
+}
+
+TEST(Binary, RepeatedBlockCausesNoFlips)
+{
+    BinaryScheme s(cfg(64));
+    Rng rng(1);
+    BitVec block(kBlockBits);
+    block.randomize(rng);
+    auto first = s.transfer(block);
+    EXPECT_GT(first.data_flips, 0u);
+    // Re-sending the same block: the final beat left the wires in the
+    // last slice's state, so only intra-block transitions repeat.
+    auto second = s.transfer(block);
+    // All beats identical to the previous traversal's beats shifted by
+    // one block; flips can differ from first only by the initial-state
+    // difference. Sending an all-zero block twice is exactly zero.
+    BitVec zero(kBlockBits);
+    s.transfer(zero);
+    auto z = s.transfer(zero);
+    EXPECT_EQ(z.data_flips, 0u);
+    (void)second;
+}
+
+TEST(Binary, CyclesEqualBeats)
+{
+    EXPECT_EQ(BinaryScheme(cfg(64)).transfer(BitVec(512)).cycles, 8u);
+    EXPECT_EQ(BinaryScheme(cfg(128)).transfer(BitVec(512)).cycles, 4u);
+    EXPECT_EQ(BinaryScheme(cfg(512)).transfer(BitVec(512)).cycles, 1u);
+}
+
+TEST(Binary, WideBusSingleBeatFlipsArePopcountFromIdle)
+{
+    BinaryScheme s(cfg(512));
+    Rng rng(2);
+    BitVec block(kBlockBits);
+    block.randomize(rng);
+    auto r = s.transfer(block);
+    EXPECT_EQ(r.data_flips, block.popcount());
+}
+
+TEST(Binary, StatePersistsAcrossBlocks)
+{
+    BinaryScheme s(cfg(512));
+    BitVec ones(kBlockBits);
+    ones.invertRange(0, kBlockBits);
+    EXPECT_EQ(s.transfer(ones).data_flips, 512u);
+    // Wires now hold all ones; an all-zero block flips all back.
+    EXPECT_EQ(s.transfer(BitVec(kBlockBits)).data_flips, 512u);
+}
+
+TEST(Binary, ResetReturnsWiresToZero)
+{
+    BinaryScheme s(cfg(512));
+    BitVec ones(kBlockBits);
+    ones.invertRange(0, kBlockBits);
+    s.transfer(ones);
+    s.reset();
+    EXPECT_EQ(s.transfer(ones).data_flips, 512u);
+}
+
+TEST(Binary, FlipsBoundedByBlockBitsPlusBusWidth)
+{
+    Rng rng(3);
+    BinaryScheme s(cfg(64));
+    for (int i = 0; i < 50; i++) {
+        BitVec block(kBlockBits);
+        block.randomize(rng);
+        auto r = s.transfer(block);
+        EXPECT_LE(r.data_flips, kBlockBits + 64);
+    }
+}
+
+TEST(Binary, NoControlWires)
+{
+    BinaryScheme s(cfg(64));
+    EXPECT_EQ(s.controlWires(), 0u);
+    EXPECT_EQ(s.dataWires(), 64u);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the CACTI-lite cache geometry/energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/cacti.hh"
+
+using namespace desc::energy;
+
+namespace {
+
+CacheOrg
+baseline()
+{
+    return CacheOrg{}; // 8MB, 16-way, 8 banks, 64-bit bus, LSTP-LSTP
+}
+
+} // namespace
+
+TEST(Cacti, BaselineGeometryIsPlausible)
+{
+    CacheEnergyModel m(baseline());
+    // An 8MB 22nm LSTP SRAM occupies on the order of 10 mm^2.
+    EXPECT_GT(m.geometry().total_area_mm2, 4.0);
+    EXPECT_LT(m.geometry().total_area_mm2, 40.0);
+    EXPECT_GT(m.geometry().htree_path_mm, 1.0);
+    EXPECT_LT(m.geometry().htree_path_mm, 12.0);
+}
+
+TEST(Cacti, CapacityGrowsAreaAndPath)
+{
+    CacheOrg small = baseline(), big = baseline();
+    small.capacity_bytes = 512ull << 10;
+    big.capacity_bytes = 64ull << 20;
+    CacheEnergyModel ms(small), mb(big);
+    EXPECT_LT(ms.geometry().total_area_mm2, mb.geometry().total_area_mm2);
+    EXPECT_LT(ms.geometry().htree_path_mm, mb.geometry().htree_path_mm);
+    EXPECT_LT(ms.htreeFlipEnergy(), mb.htreeFlipEnergy());
+    EXPECT_LT(ms.leakagePower(), mb.leakagePower());
+}
+
+TEST(Cacti, HpLeaksOrdersOfMagnitudeMoreThanLstp)
+{
+    CacheOrg lstp = baseline(), hp = baseline();
+    hp.cell_dev = Device::HP;
+    hp.periph_dev = Device::HP;
+    CacheEnergyModel ml(lstp), mh(hp);
+    EXPECT_GT(mh.leakagePower(), 500.0 * ml.leakagePower());
+}
+
+TEST(Cacti, PeripheryDeviceMattersIndependently)
+{
+    CacheOrg a = baseline(), b = baseline();
+    b.periph_dev = Device::HP; // LSTP cells, HP periphery
+    CacheEnergyModel ma(a), mb(b);
+    EXPECT_GT(mb.leakagePower(), 10.0 * ma.leakagePower());
+}
+
+TEST(Cacti, LstpBaselineLeakageIsMilliwattScale)
+{
+    CacheEnergyModel m(baseline());
+    EXPECT_GT(m.leakagePower(), 1e-4);
+    EXPECT_LT(m.leakagePower(), 0.2);
+}
+
+TEST(Cacti, HitLatencyNearPaperTable1)
+{
+    // Table 1: L2 hit delay 19 cycles (including 8-beat serialization
+    // on the 64-bit bus, which the simulator adds on top of this).
+    CacheEnergyModel m(baseline());
+    unsigned with_transfer = m.hitLatencyCycles() + 512 / 64;
+    EXPECT_GE(with_transfer, 14u);
+    EXPECT_LE(with_transfer, 26u);
+}
+
+TEST(Cacti, HpArraysAreFaster)
+{
+    CacheOrg hp = baseline();
+    hp.cell_dev = Device::HP;
+    CacheEnergyModel mh(hp), ml(baseline());
+    EXPECT_LT(mh.hitLatencyCycles(), ml.hitLatencyCycles());
+}
+
+TEST(Cacti, MoreBanksShortenBankPath)
+{
+    CacheOrg few = baseline(), many = baseline();
+    few.banks = 2;
+    many.banks = 64;
+    CacheEnergyModel mf(few), mm(many);
+    // Same total area; smaller banks mean shorter bank-internal trees.
+    EXPECT_NEAR(mf.geometry().total_area_mm2,
+                mm.geometry().total_area_mm2, 1e-9);
+    EXPECT_GT(mf.geometry().htree_path_mm, mm.geometry().htree_path_mm);
+}
+
+TEST(Cacti, ReadWriteAndTagEnergiesOrdered)
+{
+    CacheEnergyModel m(baseline());
+    EXPECT_GT(m.arrayWriteEnergy(), m.arrayReadEnergy());
+    EXPECT_GT(m.arrayReadEnergy(), m.tagAccessEnergy());
+    EXPECT_GT(m.htreeFlipEnergy(), 0.0);
+}
+
+TEST(CactiDeath, RejectsNonPowerOfTwoBanks)
+{
+    CacheOrg bad = baseline();
+    bad.banks = 3;
+    EXPECT_DEATH(CacheEnergyModel m(bad), "power of two");
+}
+
+TEST(Cacti, LowSwingHtreeReducesFlipEnergyOnly)
+{
+    CacheOrg fs = baseline(), ls = baseline();
+    ls.low_swing = true;
+    CacheEnergyModel mf(fs), ml(ls);
+    EXPECT_LT(ml.htreeFlipEnergy(), mf.htreeFlipEnergy());
+    EXPECT_DOUBLE_EQ(ml.arrayReadEnergy(), mf.arrayReadEnergy());
+    EXPECT_DOUBLE_EQ(ml.leakagePower(), mf.leakagePower());
+}
+
+TEST(Cacti, PerBankOverheadsGrowWithBankCount)
+{
+    // Figure 25: beyond the sweet spot, per-bank leakage and decode
+    // overheads make high bank counts lose.
+    CacheOrg few = baseline(), many = baseline();
+    few.banks = 8;
+    many.banks = 64;
+    CacheEnergyModel mf(few), mm(many);
+    EXPECT_GT(mm.leakagePower(), mf.leakagePower());
+    EXPECT_GT(mm.arrayReadEnergy(), mf.arrayReadEnergy());
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the McPAT-lite processor power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/mcpat.hh"
+
+using namespace desc::energy;
+using desc::Joule;
+
+namespace {
+
+ProcessorActivity
+typicalRun()
+{
+    // ~1 second of an 8-core in-order SMT machine at moderate IPC.
+    ProcessorActivity a;
+    a.instructions = 10'000'000'000ull;
+    a.l1i_accesses = 10'000'000'000ull;
+    a.l1d_accesses = 3'000'000'000ull;
+    a.l2_accesses = 200'000'000ull;
+    a.runtime_s = 1.0;
+    return a;
+}
+
+} // namespace
+
+TEST(Mcpat, L2FractionNearPaperFigure1)
+{
+    // Figure 1: the 8MB LSTP L2 is ~15% of processor energy on
+    // average. Feed a representative L2 energy and check the ratio
+    // lands in the same band.
+    ProcessorPowerModel model(8, CoreKind::InOrderSMT);
+    Joule l2 = 0.050; // 50 mJ over the run
+    auto e = model.evaluate(typicalRun(), l2);
+    double frac = e.l2 / e.total();
+    EXPECT_GT(frac, 0.08);
+    EXPECT_LT(frac, 0.25);
+}
+
+TEST(Mcpat, TotalIsSumOfParts)
+{
+    ProcessorPowerModel model(8, CoreKind::InOrderSMT);
+    auto e = model.evaluate(typicalRun(), 0.01);
+    EXPECT_NEAR(e.total(),
+                e.core_dynamic + e.core_static + e.l1 + e.uncore + e.l2,
+                1e-15);
+}
+
+TEST(Mcpat, OutOfOrderCoreBurnsMorePerInstruction)
+{
+    ProcessorActivity a = typicalRun();
+    ProcessorPowerModel smt(1, CoreKind::InOrderSMT);
+    ProcessorPowerModel ooo(1, CoreKind::OutOfOrder);
+    EXPECT_GT(ooo.evaluate(a, 0.0).core_dynamic,
+              2.0 * smt.evaluate(a, 0.0).core_dynamic);
+}
+
+TEST(Mcpat, StaticEnergyScalesWithTimeAndCores)
+{
+    ProcessorActivity a;
+    a.runtime_s = 2.0;
+    ProcessorPowerModel m8(8, CoreKind::InOrderSMT);
+    ProcessorPowerModel m4(4, CoreKind::InOrderSMT);
+    EXPECT_NEAR(m8.evaluate(a, 0.0).core_static,
+                2.0 * m4.evaluate(a, 0.0).core_static, 1e-12);
+}
+
+TEST(Mcpat, L2SavingsPropagateToProcessor)
+{
+    // A 1.81x L2 energy reduction must show up as a single-digit
+    // percentage of processor energy (the paper reports 7%).
+    ProcessorPowerModel model(8, CoreKind::InOrderSMT);
+    auto a = typicalRun();
+    Joule l2_base = 0.050;
+    auto base = model.evaluate(a, l2_base);
+    auto opt = model.evaluate(a, l2_base / 1.81);
+    double saving = 1.0 - opt.total() / base.total();
+    EXPECT_GT(saving, 0.02);
+    EXPECT_LT(saving, 0.15);
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the DESC interface synthesis model (Figure 17).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/synthesis.hh"
+
+using namespace desc::energy;
+
+TEST(Synthesis, AreaNearPaperFigure17)
+{
+    // Figure 17: a 128-chunk transmitter and receiver each occupy on
+    // the order of 1500-2000 um^2 at 22nm; the interface as a whole
+    // is ~2120 um^2 per mat-level slice, i.e. a few thousand um^2
+    // for the full 128-chunk pair.
+    DescSynthesisModel m;
+    EXPECT_GT(m.transmitter().area_um2, 800.0);
+    EXPECT_LT(m.transmitter().area_um2, 4000.0);
+    EXPECT_GT(m.receiver().area_um2, 500.0);
+    EXPECT_LT(m.receiver().area_um2, 4000.0);
+    EXPECT_GT(m.transmitter().area_um2, m.receiver().area_um2);
+}
+
+TEST(Synthesis, PeakPowerNearPaper46mW)
+{
+    DescSynthesisModel m;
+    double total = m.transmitter().peak_power_mw
+        + m.receiver().peak_power_mw;
+    EXPECT_GT(total, 15.0);
+    EXPECT_LT(total, 90.0);
+}
+
+TEST(Synthesis, RoundTripDelayNearPaper625ps)
+{
+    DescSynthesisModel m;
+    EXPECT_GT(m.roundTripDelayNs(), 0.3);
+    EXPECT_LT(m.roundTripDelayNs(), 1.0);
+}
+
+TEST(Synthesis, AreaScalesWithChunkCount)
+{
+    DescSynthesisModel full(128, 4);
+    DescSynthesisModel half(64, 4);
+    EXPECT_GT(full.transmitter().area_um2,
+              1.8 * half.transmitter().area_um2 * 0.9);
+    EXPECT_LT(half.transmitter().area_um2, full.transmitter().area_um2);
+}
+
+TEST(Synthesis, Node45IsBiggerAndSlower)
+{
+    DescSynthesisModel n22(128, 4, tech22());
+    DescSynthesisModel n45(128, 4, tech45());
+    EXPECT_GT(n45.transmitter().area_um2, n22.transmitter().area_um2);
+    EXPECT_GT(n45.roundTripDelayNs(), n22.roundTripDelayNs());
+}
+
+TEST(Synthesis, BusyCycleEnergyIsSmallVsHtreeFlips)
+{
+    // DESC consumes dynamic power only during transfers; per busy
+    // cycle the interface must cost no more than a few picojoules.
+    DescSynthesisModel m;
+    EXPECT_GT(m.interfaceEnergyPerBusyCycle(), 0.0);
+    EXPECT_LT(m.interfaceEnergyPerBusyCycle(), 20e-12);
+}

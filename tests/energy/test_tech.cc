@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for the ITRS technology tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/tech.hh"
+
+using namespace desc::energy;
+
+TEST(Tech, DeviceNames)
+{
+    EXPECT_STREQ(deviceName(Device::HP), "HP");
+    EXPECT_STREQ(deviceName(Device::LOP), "LOP");
+    EXPECT_STREQ(deviceName(Device::LSTP), "LSTP");
+}
+
+TEST(Tech, Table3Parameters)
+{
+    // Table 3 of the paper: 45nm at 1.1V/20.25ps FO4, 22nm at
+    // 0.83V/11.75ps FO4.
+    EXPECT_DOUBLE_EQ(tech45().vdd, 1.1);
+    EXPECT_DOUBLE_EQ(tech45().fo4_ps, 20.25);
+    EXPECT_DOUBLE_EQ(tech22().vdd, 0.83);
+    EXPECT_DOUBLE_EQ(tech22().fo4_ps, 11.75);
+}
+
+TEST(Tech, LeakageOrderingAcrossDevices)
+{
+    // The entire Figure 14 design-space result rests on
+    // HP >> LOP >> LSTP leakage.
+    const auto &t = tech22();
+    EXPECT_GT(t.device(Device::HP).cell_leak_nw,
+              100 * t.device(Device::LOP).cell_leak_nw / 10);
+    EXPECT_GT(t.device(Device::LOP).cell_leak_nw,
+              10 * t.device(Device::LSTP).cell_leak_nw);
+    EXPECT_GT(t.device(Device::HP).cell_leak_nw,
+              1000 * t.device(Device::LSTP).cell_leak_nw);
+}
+
+TEST(Tech, LstpArraysAreSlower)
+{
+    // Paper footnote 3: HP arrays are about twice as fast as LSTP.
+    const auto &t = tech22();
+    EXPECT_DOUBLE_EQ(t.device(Device::LSTP).access_time_factor, 2.0);
+    EXPECT_LT(t.device(Device::HP).access_time_factor,
+              t.device(Device::LOP).access_time_factor);
+}
+
+TEST(Tech, ScalingShrinksEnergyAndArea)
+{
+    for (Device d : {Device::HP, Device::LOP, Device::LSTP}) {
+        EXPECT_LT(tech22().device(d).cell_area_um2,
+                  tech45().device(d).cell_area_um2);
+        EXPECT_LT(tech22().device(d).cell_read_fj,
+                  tech45().device(d).cell_read_fj);
+    }
+    EXPECT_LT(tech22().gate_area_um2, tech45().gate_area_um2);
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the repeatered-wire model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/wire.hh"
+
+using namespace desc::energy;
+
+TEST(Wire, EnergyIsAffineInLength)
+{
+    // flip energy = driver constant + per-mm wire charge.
+    WireModel one(tech22(), 1.0), two(tech22(), 2.0),
+        three(tech22(), 3.0);
+    double slope12 = two.flipEnergy() - one.flipEnergy();
+    double slope23 = three.flipEnergy() - two.flipEnergy();
+    EXPECT_NEAR(slope12, slope23, 1e-18);
+    EXPECT_GT(slope12, 0.0);
+}
+
+TEST(Wire, FlipEnergyInPicojouleBallpark)
+{
+    // A ~4mm repeatered 22nm wire switches a fraction of a picojoule.
+    WireModel w(tech22(), 4.0);
+    EXPECT_GT(w.flipEnergy(), 0.1e-12);
+    EXPECT_LT(w.flipEnergy(), 2.0e-12);
+}
+
+TEST(Wire, DelayScalesLinearly)
+{
+    WireModel one(tech22(), 1.0), three(tech22(), 3.0);
+    EXPECT_NEAR(three.delayPs(), 3.0 * one.delayPs(), 1e-9);
+}
+
+TEST(Wire, DelayCyclesCeils)
+{
+    // 85 ps/mm at 3.2 GHz (312.5 ps/cycle): 4mm = 340ps -> 2 cycles.
+    WireModel w(tech22(), 4.0);
+    EXPECT_EQ(w.delayCycles(3.2), 2u);
+    WireModel s(tech22(), 1.0);
+    EXPECT_EQ(s.delayCycles(3.2), 1u);
+}
+
+TEST(Wire, HigherVddCostsMoreEnergy)
+{
+    WireModel w45(tech45(), 2.0), w22(tech22(), 2.0);
+    EXPECT_GT(w45.flipEnergy(), w22.flipEnergy());
+}
+
+TEST(Wire, ZeroLengthCostsOnlyTheDriver)
+{
+    WireModel w(tech22(), 0.0);
+    EXPECT_DOUBLE_EQ(w.flipEnergy(), tech22().wire_driver_fj * 1e-15);
+    EXPECT_DOUBLE_EQ(w.delayPs(), 0.0);
+}
+
+TEST(Wire, LowSwingCutsEnergyPerTransition)
+{
+    WireModel full(tech22(), 4.0);
+    WireModel low(tech22(), 4.0, 0.25);
+    // Swing at 0.25V from a 0.83V rail: roughly a 2-3x energy cut on
+    // the wire charge, minus the sense-amp overhead.
+    EXPECT_LT(low.flipEnergy(), 0.6 * full.flipEnergy());
+    EXPECT_GT(low.flipEnergy(), 0.15 * full.flipEnergy());
+}
+
+TEST(Wire, LowSwingIsSlower)
+{
+    WireModel full(tech22(), 4.0);
+    WireModel low(tech22(), 4.0, 0.25);
+    EXPECT_GT(low.delayPs(), full.delayPs());
+}
+
+TEST(WireDeath, SwingAboveVddPanics)
+{
+    EXPECT_DEATH(WireModel(tech22(), 1.0, 2.0), "below Vdd");
+}

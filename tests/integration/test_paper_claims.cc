@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Integration tests pinning the paper's directional claims: these run
+ * small but complete simulations and assert the *shape* of every
+ * headline result, so a regression anywhere in the stack (encoder,
+ * coherence, timing, energy accounting, workloads) surfaces here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hh"
+#include "sim/experiment.hh"
+
+using namespace desc;
+using namespace desc::sim;
+using encoding::SchemeKind;
+
+namespace {
+
+AppRun
+runScheme(const char *app, SchemeKind kind,
+          std::uint64_t budget = 12'000)
+{
+    SystemConfig cfg = baselineConfig(workloads::findApp(app));
+    cfg.insts_per_thread = budget;
+    applyScheme(cfg, kind);
+    AppRun run;
+    run.result = runSystem(cfg);
+    run.l2 = computeL2Energy(cfg, run.result);
+    run.processor = computeProcessorEnergy(cfg, run.result, run.l2);
+    return run;
+}
+
+} // namespace
+
+TEST(PaperClaims, ZeroSkippedDescReducesL2EnergySubstantially)
+{
+    // Headline (Abstract / Section 5.2): ~1.8x on the app mix. A
+    // single mid-pack app at small scale must still show a large win.
+    auto bin = runScheme("CG", SchemeKind::Binary);
+    auto zs = runScheme("CG", SchemeKind::DescZeroSkip);
+    double reduction = bin.l2.total() / zs.l2.total();
+    EXPECT_GT(reduction, 1.4);
+    EXPECT_LT(reduction, 2.6);
+}
+
+TEST(PaperClaims, SchemeOrderingOnZeroRichApps)
+{
+    // Figure 16 ordering for a zero-rich application: skipped DESC
+    // variants < zero-skipped bus-invert < plain bus-invert < binary.
+    auto bin = runScheme("Equake", SchemeKind::Binary);
+    auto bic = runScheme("Equake", SchemeKind::BusInvert);
+    auto zsbic = runScheme("Equake", SchemeKind::ZeroSkipBusInvert);
+    auto zs = runScheme("Equake", SchemeKind::DescZeroSkip);
+    EXPECT_LT(bic.l2.total(), bin.l2.total());
+    EXPECT_LT(zsbic.l2.total(), bic.l2.total());
+    EXPECT_LT(zs.l2.total(), zsbic.l2.total());
+}
+
+TEST(PaperClaims, ExecutionTimeOverheadIsSmallOnTheMulticore)
+{
+    // Figure 20: <2% for the skipped DESC variants on the SMT machine.
+    auto bin = runScheme("FFT", SchemeKind::Binary);
+    auto zs = runScheme("FFT", SchemeKind::DescZeroSkip);
+    double overhead = double(zs.result.cycles)
+        / double(bin.result.cycles);
+    EXPECT_LT(overhead, 1.05);
+    EXPECT_GT(overhead, 0.95);
+}
+
+TEST(PaperClaims, DescRaisesHitDelayButNotMissPath)
+{
+    // Section 5.3: DESC affects the hit time, not the miss penalty.
+    auto bin = runScheme("Water-Nsquared", SchemeKind::Binary);
+    auto zs = runScheme("Water-Nsquared", SchemeKind::DescZeroSkip);
+    EXPECT_GT(zs.result.avgHitDelay(), bin.result.avgHitDelay() + 4.0);
+}
+
+TEST(PaperClaims, ProcessorEnergySavingIsSingleDigitPercent)
+{
+    // Figure 19: ~7% processor-level saving.
+    auto bin = runScheme("CG", SchemeKind::Binary);
+    auto zs = runScheme("CG", SchemeKind::DescZeroSkip);
+    double saving = 1.0 - zs.processor.total() / bin.processor.total();
+    EXPECT_GT(saving, 0.02);
+    EXPECT_LT(saving, 0.20);
+}
+
+TEST(PaperClaims, OooCoreIsMoreSensitiveThanSmt)
+{
+    // Figure 30 vs Figure 20: the latency-sensitive OoO design loses
+    // more to DESC than the throughput-oriented multicore.
+    auto smt_bin = runScheme("bzip2", SchemeKind::Binary, 20'000);
+    auto smt_zs = runScheme("bzip2", SchemeKind::DescZeroSkip, 20'000);
+    double smt_over = double(smt_zs.result.cycles)
+        / double(smt_bin.result.cycles);
+
+    SystemConfig ooo = baselineConfig(workloads::findApp("bzip2"));
+    ooo.cpu = CpuKind::OutOfOrder;
+    ooo.threads_per_core = 1;
+    ooo.insts_per_thread = 80'000;
+    auto ooo_bin_cfg = ooo;
+    auto ooo_zs_cfg = ooo;
+    applyScheme(ooo_zs_cfg, SchemeKind::DescZeroSkip);
+    auto ooo_bin = runSystem(ooo_bin_cfg);
+    auto ooo_zs = runSystem(ooo_zs_cfg);
+    double ooo_over =
+        double(ooo_zs.cycles) / double(ooo_bin.cycles);
+
+    EXPECT_GT(ooo_over, smt_over);
+    EXPECT_GT(ooo_over, 1.02);
+}
+
+TEST(PaperClaims, EccPreservesTheDescAdvantage)
+{
+    // Figure 29: DESC's energy win survives SECDED protection.
+    SystemConfig bin_cfg = baselineConfig(workloads::findApp("CG"));
+    bin_cfg.insts_per_thread = 12'000;
+    bin_cfg.l2.ecc = true;
+    bin_cfg.l2.ecc_segment_bits = 64;
+    auto bin = runSystem(bin_cfg);
+    auto bin_e = computeL2Energy(bin_cfg, bin);
+
+    SystemConfig zs_cfg = bin_cfg;
+    applyScheme(zs_cfg, SchemeKind::DescZeroSkip);
+    zs_cfg.l2.ecc = true;
+    zs_cfg.l2.ecc_segment_bits = 64;
+    auto zs = runSystem(zs_cfg);
+    auto zs_e = computeL2Energy(zs_cfg, zs);
+
+    EXPECT_GT(bin_e.total() / zs_e.total(), 1.3);
+}
+
+TEST(PaperClaims, SnucaAlsoBenefits)
+{
+    // Figures 23/24: DESC on S-NUCA-1 saves energy at ~1% time cost.
+    auto make = [](bool use_desc) {
+        SystemConfig cfg = baselineConfig(workloads::findApp("MG"));
+        cfg.insts_per_thread = 12'000;
+        cfg.l2.snuca = true;
+        cfg.l2.org.banks = 128;
+        cfg.l2.org.bus_wires = 128;
+        cfg.l2.scheme_cfg.bus_wires = 128;
+        if (use_desc)
+            applyScheme(cfg, SchemeKind::DescZeroSkip);
+        return cfg;
+    };
+    auto bin_cfg = make(false);
+    auto zs_cfg = make(true);
+    auto bin = runSystem(bin_cfg);
+    auto zs = runSystem(zs_cfg);
+    auto bin_e = computeL2Energy(bin_cfg, bin);
+    auto zs_e = computeL2Energy(zs_cfg, zs);
+    EXPECT_GT(bin_e.total() / zs_e.total(), 1.2);
+    EXPECT_LT(double(zs.cycles) / double(bin.cycles), 1.06);
+}
+
+TEST(PaperClaims, HtreeDominatesAndDescHalvesDynamic)
+{
+    // Figures 2 and 18 combined.
+    auto bin = runScheme("Cholesky", SchemeKind::Binary);
+    double htree_frac = bin.l2.htree_dynamic / bin.l2.total();
+    EXPECT_GT(htree_frac, 0.6);
+
+    auto zs = runScheme("Cholesky", SchemeKind::DescZeroSkip);
+    EXPECT_LT(zs.l2.dynamic(), 0.65 * bin.l2.dynamic());
+}
+
+TEST(PaperClaims, LargerCachesKeepTheReduction)
+{
+    // Figure 27: the reduction persists from small to large caches.
+    for (std::uint64_t capacity : {2ull << 20, 32ull << 20}) {
+        SystemConfig bin_cfg = baselineConfig(workloads::findApp("Art"));
+        bin_cfg.insts_per_thread = 8'000;
+        bin_cfg.l2.org.capacity_bytes = capacity;
+        auto zs_cfg = bin_cfg;
+        applyScheme(zs_cfg, SchemeKind::DescZeroSkip);
+        auto bin = runSystem(bin_cfg);
+        auto zs = runSystem(zs_cfg);
+        auto bin_e = computeL2Energy(bin_cfg, bin);
+        auto zs_e = computeL2Energy(zs_cfg, zs);
+        EXPECT_GT(bin_e.total() / zs_e.total(), 1.3)
+            << "capacity " << (capacity >> 20) << "MB";
+    }
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the energy accounting layer: the composition rules that
+ * turn activity counts into the figures' energy numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy_account.hh"
+#include "sim/experiment.hh"
+
+using namespace desc;
+using namespace desc::sim;
+
+namespace {
+
+AppRun
+quickRun(encoding::SchemeKind kind, const char *app = "FFT")
+{
+    SystemConfig cfg = baselineConfig(workloads::findApp(app));
+    cfg.insts_per_thread = 5000;
+    applyScheme(cfg, kind);
+    AppRun run;
+    run.result = runSystem(cfg);
+    run.l2 = computeL2Energy(cfg, run.result);
+    run.processor = computeProcessorEnergy(cfg, run.result, run.l2);
+    return run;
+}
+
+} // namespace
+
+TEST(EnergyAccount, ComponentsArePositive)
+{
+    auto run = quickRun(encoding::SchemeKind::Binary);
+    EXPECT_GT(run.l2.htree_dynamic, 0.0);
+    EXPECT_GT(run.l2.array_dynamic, 0.0);
+    EXPECT_GT(run.l2.static_energy, 0.0);
+    EXPECT_EQ(run.l2.aux_dynamic, 0.0); // binary has no aux logic
+    EXPECT_NEAR(run.l2.total(),
+                run.l2.htree_dynamic + run.l2.array_dynamic
+                    + run.l2.aux_dynamic + run.l2.static_energy,
+                1e-15);
+}
+
+TEST(EnergyAccount, HtreeDominatesBinaryBaseline)
+{
+    // Figure 2: H-tree dynamic is ~80% of the LSTP L2's energy.
+    auto run = quickRun(encoding::SchemeKind::Binary);
+    double frac = run.l2.htree_dynamic / run.l2.total();
+    EXPECT_GT(frac, 0.6);
+    EXPECT_LT(frac, 0.95);
+}
+
+TEST(EnergyAccount, DescChargesInterfacePower)
+{
+    auto run = quickRun(encoding::SchemeKind::DescZeroSkip);
+    EXPECT_GT(run.l2.aux_dynamic, 0.0);
+}
+
+TEST(EnergyAccount, LastValueSkipChargesMoreAuxThanZeroSkip)
+{
+    // Section 5.2: the last-value tables and write broadcast are why
+    // LVS loses to ZS despite skipping more chunks.
+    auto zs = quickRun(encoding::SchemeKind::DescZeroSkip);
+    auto lvs = quickRun(encoding::SchemeKind::DescLastValueSkip);
+    EXPECT_GT(lvs.l2.aux_dynamic, zs.l2.aux_dynamic);
+}
+
+TEST(EnergyAccount, ZeroSkipDescBeatsBinary)
+{
+    auto bin = quickRun(encoding::SchemeKind::Binary);
+    auto zs = quickRun(encoding::SchemeKind::DescZeroSkip);
+    EXPECT_LT(zs.l2.total(), 0.8 * bin.l2.total());
+}
+
+TEST(EnergyAccount, ProcessorEnergyIncludesL2)
+{
+    auto run = quickRun(encoding::SchemeKind::Binary);
+    EXPECT_GT(run.processor.total(), run.l2.total());
+    EXPECT_NEAR(run.processor.l2, run.l2.total(), 1e-15);
+    // Figure 1 band.
+    double frac = run.l2.total() / run.processor.total();
+    EXPECT_GT(frac, 0.05);
+    EXPECT_LT(frac, 0.35);
+}
+
+TEST(EnergyAccount, EccScalesArrayEnergy)
+{
+    SystemConfig cfg = baselineConfig(workloads::findApp("FFT"));
+    cfg.insts_per_thread = 5000;
+    auto plain = runSystem(cfg);
+    auto e_plain = computeL2Energy(cfg, plain);
+
+    auto ecc_cfg = cfg;
+    ecc_cfg.l2.ecc = true;
+    ecc_cfg.l2.ecc_segment_bits = 64;
+    auto ecc_run = runSystem(ecc_cfg);
+    auto e_ecc = computeL2Energy(ecc_cfg, ecc_run);
+
+    // Parity storage and transfer make ECC strictly more expensive.
+    EXPECT_GT(e_ecc.total(), e_plain.total());
+}
+
+TEST(EnergyAccount, HpDevicesExplodeStaticEnergy)
+{
+    SystemConfig cfg = baselineConfig(workloads::findApp("FFT"));
+    cfg.insts_per_thread = 5000;
+    auto lstp = runSystem(cfg);
+    auto e_lstp = computeL2Energy(cfg, lstp);
+
+    auto hp_cfg = cfg;
+    hp_cfg.l2.org.cell_dev = energy::Device::HP;
+    hp_cfg.l2.org.periph_dev = energy::Device::HP;
+    auto hp = runSystem(hp_cfg);
+    auto e_hp = computeL2Energy(hp_cfg, hp);
+
+    EXPECT_GT(e_hp.static_energy, 100.0 * e_lstp.static_energy);
+}

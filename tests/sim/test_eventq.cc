@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/eventq.hh"
+
+using namespace desc;
+using namespace desc::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; i++)
+        eq.schedule(7, [&, i]() { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        fired++;
+        if (fired < 10)
+            eq.scheduleIn(5, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eq.now(), 45u);
+}
+
+TEST(EventQueue, SameCycleSelfScheduleRuns)
+{
+    EventQueue eq;
+    bool inner = false;
+    eq.schedule(5, [&]() { eq.schedule(5, [&]() { inner = true; }); });
+    eq.run();
+    EXPECT_TRUE(inner);
+}
+
+TEST(EventQueue, RunLimitStopsEarly)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() { fired++; });
+    eq.schedule(100, [&]() { fired++; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ReturnsExecutedCount)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; i++)
+        eq.schedule(Cycle(i), []() {});
+    EXPECT_EQ(eq.run(), 7u);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, []() {}), "into the past");
+}

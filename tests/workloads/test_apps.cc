@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Sanity tests for the per-application parameter tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/app.hh"
+
+using namespace desc::workloads;
+
+TEST(Apps, SixteenParallelAndEightSpec)
+{
+    EXPECT_EQ(parallelApps().size(), 16u);
+    EXPECT_EQ(specApps().size(), 8u);
+}
+
+TEST(Apps, NamesMatchTable2)
+{
+    const char *parallel[] = {
+        "Art", "Barnes", "CG", "Cholesky", "Equake", "FFT", "FT",
+        "Linear", "LU", "MG", "Ocean", "Radix", "RayTrace", "Swim",
+        "Water-Nsquared", "Water-Spatial"};
+    for (std::size_t i = 0; i < 16; i++)
+        EXPECT_STREQ(parallelApps()[i].name, parallel[i]);
+
+    const char *spec[] = {"bzip2", "mcf", "omnetpp", "sjeng",
+                          "lbm", "milc", "namd", "soplex"};
+    for (std::size_t i = 0; i < 8; i++)
+        EXPECT_STREQ(specApps()[i].name, spec[i]);
+}
+
+TEST(Apps, ParametersAreWellFormed)
+{
+    auto check = [](const AppParams &a) {
+        EXPECT_GT(a.mem_per_inst, 0.0) << a.name;
+        EXPECT_LT(a.mem_per_inst, 1.0) << a.name;
+        EXPECT_GE(a.write_frac, 0.0) << a.name;
+        EXPECT_LE(a.write_frac, 1.0) << a.name;
+        EXPECT_GT(a.ws_private, 0u) << a.name;
+        EXPECT_GT(a.code_bytes, 0u) << a.name;
+        EXPECT_GT(a.hot_bytes, 0u) << a.name;
+        EXPECT_GT(a.hot_frac, 0.5) << a.name;
+        double total = a.zero_word + a.small_word + a.palette_word;
+        EXPECT_LT(total, 1.0) << a.name;
+        EXPECT_GT(a.palette_size, 0u) << a.name;
+        EXPECT_GE(a.null_block, 0.0) << a.name;
+        EXPECT_LT(a.null_block, 0.5) << a.name;
+    };
+    for (const auto &a : parallelApps())
+        check(a);
+    for (const auto &a : specApps())
+        check(a);
+}
+
+TEST(Apps, SeedSaltsAreUnique)
+{
+    std::vector<std::uint64_t> salts;
+    for (const auto &a : parallelApps())
+        salts.push_back(a.seed_salt);
+    for (const auto &a : specApps())
+        salts.push_back(a.seed_salt);
+    std::sort(salts.begin(), salts.end());
+    EXPECT_EQ(std::adjacent_find(salts.begin(), salts.end()),
+              salts.end());
+}
+
+TEST(Apps, FindAppLocatesBothSuites)
+{
+    EXPECT_STREQ(findApp("FFT").name, "FFT");
+    EXPECT_STREQ(findApp("mcf").name, "mcf");
+}
+
+TEST(AppsDeath, UnknownAppIsFatal)
+{
+    EXPECT_DEATH(findApp("quake3"), "unknown application");
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the synthetic instruction/address streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/stream.hh"
+
+using namespace desc;
+using namespace desc::workloads;
+
+namespace {
+
+struct Fixture
+{
+    const AppParams &app = findApp("FFT");
+    ValueModel values{app, 11};
+    AppStream stream{app, values, 3, 0, 11};
+};
+
+} // namespace
+
+TEST(AppStream, GapsMatchMemoryIntensity)
+{
+    Fixture f;
+    cpu::MemOp op;
+    std::uint64_t gaps = 0;
+    const unsigned n = 20000;
+    for (unsigned i = 0; i < n; i++)
+        gaps += f.stream.nextGap(op);
+    // E[gap] = (1-p)/p for geometric gaps with success prob p.
+    double p = f.app.mem_per_inst;
+    double expected = (1.0 - p) / p;
+    EXPECT_NEAR(double(gaps) / n, expected, expected * 0.1);
+}
+
+TEST(AppStream, WriteFractionMatches)
+{
+    Fixture f;
+    cpu::MemOp op;
+    unsigned writes = 0;
+    const unsigned n = 20000;
+    for (unsigned i = 0; i < n; i++) {
+        f.stream.nextGap(op);
+        writes += op.is_write;
+    }
+    EXPECT_NEAR(double(writes) / n, f.app.write_frac, 0.02);
+}
+
+TEST(AppStream, AddressesStayInTheDeclaredRegions)
+{
+    Fixture f;
+    cpu::MemOp op;
+    for (unsigned i = 0; i < 20000; i++) {
+        f.stream.nextGap(op);
+        bool in_hot = op.addr >= AppStream::hotBase(3)
+            && op.addr < AppStream::hotBase(3) + f.app.hot_bytes;
+        bool in_priv = op.addr >= AppStream::privateBase(3)
+            && op.addr < AppStream::privateBase(3) + f.app.ws_private;
+        bool in_shared = op.addr >= AppStream::sharedBase()
+            && op.addr < AppStream::sharedBase() + f.app.ws_shared;
+        EXPECT_TRUE(in_hot || in_priv || in_shared)
+            << std::hex << op.addr;
+        EXPECT_EQ(op.addr % 8, 0u);
+    }
+}
+
+TEST(AppStream, HotSetDominates)
+{
+    Fixture f;
+    cpu::MemOp op;
+    unsigned hot = 0;
+    const unsigned n = 20000;
+    for (unsigned i = 0; i < n; i++) {
+        f.stream.nextGap(op);
+        hot += op.addr >= AppStream::hotBase(3)
+            && op.addr < AppStream::hotBase(3) + f.app.hot_bytes;
+    }
+    EXPECT_NEAR(double(hot) / n, f.app.hot_frac, 0.02);
+}
+
+TEST(AppStream, FetchAddressesWalkTheCodeFootprint)
+{
+    Fixture f;
+    cpu::MemOp op;
+    Addr lo = ~Addr{0}, hi = 0;
+    for (unsigned i = 0; i < 5000; i++) {
+        f.stream.nextGap(op);
+        Addr fa = f.stream.fetchAddr();
+        lo = std::min(lo, fa);
+        hi = std::max(hi, fa);
+        EXPECT_GE(fa, AppStream::codeBase(0));
+        EXPECT_LT(fa, AppStream::codeBase(0) + f.app.code_bytes);
+    }
+    // The walk covers most of the footprint.
+    EXPECT_GT(hi - lo, f.app.code_bytes / 2);
+}
+
+TEST(AppStream, DistinctThreadsUseDistinctPrivateRegions)
+{
+    EXPECT_NE(AppStream::privateBase(0), AppStream::privateBase(1));
+    EXPECT_NE(AppStream::hotBase(0), AppStream::hotBase(1));
+    // Regions are far enough apart not to overlap.
+    EXPECT_GT(AppStream::privateBase(1) - AppStream::privateBase(0),
+              Addr{64} << 20);
+}
+
+TEST(AppStream, DeterministicForSameSeed)
+{
+    Fixture a, b;
+    cpu::MemOp oa, ob;
+    for (unsigned i = 0; i < 1000; i++) {
+        unsigned ga = a.stream.nextGap(oa);
+        unsigned gb = b.stream.nextGap(ob);
+        ASSERT_EQ(ga, gb);
+        ASSERT_EQ(oa.addr, ob.addr);
+        ASSERT_EQ(oa.is_write, ob.is_write);
+    }
+}
