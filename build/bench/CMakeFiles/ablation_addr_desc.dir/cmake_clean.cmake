@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_addr_desc.dir/ablation_addr_desc.cpp.o"
+  "CMakeFiles/ablation_addr_desc.dir/ablation_addr_desc.cpp.o.d"
+  "ablation_addr_desc"
+  "ablation_addr_desc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_addr_desc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

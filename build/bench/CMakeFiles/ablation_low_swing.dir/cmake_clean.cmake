@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_low_swing.dir/ablation_low_swing.cpp.o"
+  "CMakeFiles/ablation_low_swing.dir/ablation_low_swing.cpp.o.d"
+  "ablation_low_swing"
+  "ablation_low_swing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_low_swing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

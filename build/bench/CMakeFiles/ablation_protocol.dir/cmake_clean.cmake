@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_protocol.dir/ablation_protocol.cpp.o"
+  "CMakeFiles/ablation_protocol.dir/ablation_protocol.cpp.o.d"
+  "ablation_protocol"
+  "ablation_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

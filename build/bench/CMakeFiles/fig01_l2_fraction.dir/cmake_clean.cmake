@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_l2_fraction.dir/fig01_l2_fraction.cpp.o"
+  "CMakeFiles/fig01_l2_fraction.dir/fig01_l2_fraction.cpp.o.d"
+  "fig01_l2_fraction"
+  "fig01_l2_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_l2_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_l2_breakdown.dir/fig02_l2_breakdown.cpp.o"
+  "CMakeFiles/fig02_l2_breakdown.dir/fig02_l2_breakdown.cpp.o.d"
+  "fig02_l2_breakdown"
+  "fig02_l2_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_l2_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

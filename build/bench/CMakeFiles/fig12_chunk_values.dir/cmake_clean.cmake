@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_chunk_values.dir/fig12_chunk_values.cpp.o"
+  "CMakeFiles/fig12_chunk_values.dir/fig12_chunk_values.cpp.o.d"
+  "fig12_chunk_values"
+  "fig12_chunk_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_chunk_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_value_locality.dir/fig13_value_locality.cpp.o"
+  "CMakeFiles/fig13_value_locality.dir/fig13_value_locality.cpp.o.d"
+  "fig13_value_locality"
+  "fig13_value_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_value_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_device_space.dir/fig14_device_space.cpp.o"
+  "CMakeFiles/fig14_device_space.dir/fig14_device_space.cpp.o.d"
+  "fig14_device_space"
+  "fig14_device_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_device_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

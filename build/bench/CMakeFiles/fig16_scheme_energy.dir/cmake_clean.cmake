@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_scheme_energy.dir/fig16_scheme_energy.cpp.o"
+  "CMakeFiles/fig16_scheme_energy.dir/fig16_scheme_energy.cpp.o.d"
+  "fig16_scheme_energy"
+  "fig16_scheme_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_scheme_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_synthesis.dir/fig17_synthesis.cpp.o"
+  "CMakeFiles/fig17_synthesis.dir/fig17_synthesis.cpp.o.d"
+  "fig17_synthesis"
+  "fig17_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

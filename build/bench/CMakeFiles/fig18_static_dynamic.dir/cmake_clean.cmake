@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_static_dynamic.dir/fig18_static_dynamic.cpp.o"
+  "CMakeFiles/fig18_static_dynamic.dir/fig18_static_dynamic.cpp.o.d"
+  "fig18_static_dynamic"
+  "fig18_static_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_static_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_processor_energy.dir/fig19_processor_energy.cpp.o"
+  "CMakeFiles/fig19_processor_energy.dir/fig19_processor_energy.cpp.o.d"
+  "fig19_processor_energy"
+  "fig19_processor_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_processor_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_exec_time.dir/fig20_exec_time.cpp.o"
+  "CMakeFiles/fig20_exec_time.dir/fig20_exec_time.cpp.o.d"
+  "fig20_exec_time"
+  "fig20_exec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_hit_delay.dir/fig21_hit_delay.cpp.o"
+  "CMakeFiles/fig21_hit_delay.dir/fig21_hit_delay.cpp.o.d"
+  "fig21_hit_delay"
+  "fig21_hit_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_hit_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

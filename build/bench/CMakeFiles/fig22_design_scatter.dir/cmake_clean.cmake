@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_design_scatter.dir/fig22_design_scatter.cpp.o"
+  "CMakeFiles/fig22_design_scatter.dir/fig22_design_scatter.cpp.o.d"
+  "fig22_design_scatter"
+  "fig22_design_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_design_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

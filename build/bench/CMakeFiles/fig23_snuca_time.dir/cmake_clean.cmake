@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_snuca_time.dir/fig23_snuca_time.cpp.o"
+  "CMakeFiles/fig23_snuca_time.dir/fig23_snuca_time.cpp.o.d"
+  "fig23_snuca_time"
+  "fig23_snuca_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_snuca_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_snuca_energy.dir/fig24_snuca_energy.cpp.o"
+  "CMakeFiles/fig24_snuca_energy.dir/fig24_snuca_energy.cpp.o.d"
+  "fig24_snuca_energy"
+  "fig24_snuca_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_snuca_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

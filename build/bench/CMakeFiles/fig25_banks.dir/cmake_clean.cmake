@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_banks.dir/fig25_banks.cpp.o"
+  "CMakeFiles/fig25_banks.dir/fig25_banks.cpp.o.d"
+  "fig25_banks"
+  "fig25_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

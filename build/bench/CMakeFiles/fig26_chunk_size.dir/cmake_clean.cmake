@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_chunk_size.dir/fig26_chunk_size.cpp.o"
+  "CMakeFiles/fig26_chunk_size.dir/fig26_chunk_size.cpp.o.d"
+  "fig26_chunk_size"
+  "fig26_chunk_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig27_cache_size.dir/fig27_cache_size.cpp.o"
+  "CMakeFiles/fig27_cache_size.dir/fig27_cache_size.cpp.o.d"
+  "fig27_cache_size"
+  "fig27_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig28_ecc_time.dir/fig28_ecc_time.cpp.o"
+  "CMakeFiles/fig28_ecc_time.dir/fig28_ecc_time.cpp.o.d"
+  "fig28_ecc_time"
+  "fig28_ecc_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig28_ecc_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig28_ecc_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig29_ecc_energy.dir/fig29_ecc_energy.cpp.o"
+  "CMakeFiles/fig29_ecc_energy.dir/fig29_ecc_energy.cpp.o.d"
+  "fig29_ecc_energy"
+  "fig29_ecc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig29_ecc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

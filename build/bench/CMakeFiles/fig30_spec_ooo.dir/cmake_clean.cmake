@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig30_spec_ooo.dir/fig30_spec_ooo.cpp.o"
+  "CMakeFiles/fig30_spec_ooo.dir/fig30_spec_ooo.cpp.o.d"
+  "fig30_spec_ooo"
+  "fig30_spec_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig30_spec_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig30_spec_ooo.
+# This may be replaced when dependencies are built.

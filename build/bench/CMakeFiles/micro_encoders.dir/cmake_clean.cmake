@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_encoders.dir/micro_encoders.cpp.o"
+  "CMakeFiles/micro_encoders.dir/micro_encoders.cpp.o.d"
+  "micro_encoders"
+  "micro_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

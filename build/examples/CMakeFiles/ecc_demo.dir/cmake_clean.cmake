@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_demo.dir/ecc_demo.cpp.o"
+  "CMakeFiles/ecc_demo.dir/ecc_demo.cpp.o.d"
+  "ecc_demo"
+  "ecc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/desc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/desc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/desc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/desc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/desc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/desc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/desc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/desc_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/desc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/desc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveforms.dir/waveforms.cpp.o"
+  "CMakeFiles/waveforms.dir/waveforms.cpp.o.d"
+  "waveforms"
+  "waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/desc_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/desc_cache.dir/hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/desc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/desc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/desc_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/desc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/desc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/desc_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desc_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/desc_cache.dir/hierarchy.cc.o.d"
+  "libdesc_cache.a"
+  "libdesc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

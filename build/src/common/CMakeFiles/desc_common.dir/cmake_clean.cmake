@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desc_common.dir/bitvec.cc.o"
+  "CMakeFiles/desc_common.dir/bitvec.cc.o.d"
+  "CMakeFiles/desc_common.dir/log.cc.o"
+  "CMakeFiles/desc_common.dir/log.cc.o.d"
+  "CMakeFiles/desc_common.dir/stats.cc.o"
+  "CMakeFiles/desc_common.dir/stats.cc.o.d"
+  "CMakeFiles/desc_common.dir/table.cc.o"
+  "CMakeFiles/desc_common.dir/table.cc.o.d"
+  "libdesc_common.a"
+  "libdesc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

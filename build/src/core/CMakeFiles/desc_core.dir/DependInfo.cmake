@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chunk.cc" "src/core/CMakeFiles/desc_core.dir/chunk.cc.o" "gcc" "src/core/CMakeFiles/desc_core.dir/chunk.cc.o.d"
+  "/root/repo/src/core/descscheme.cc" "src/core/CMakeFiles/desc_core.dir/descscheme.cc.o" "gcc" "src/core/CMakeFiles/desc_core.dir/descscheme.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/core/CMakeFiles/desc_core.dir/factory.cc.o" "gcc" "src/core/CMakeFiles/desc_core.dir/factory.cc.o.d"
+  "/root/repo/src/core/link.cc" "src/core/CMakeFiles/desc_core.dir/link.cc.o" "gcc" "src/core/CMakeFiles/desc_core.dir/link.cc.o.d"
+  "/root/repo/src/core/receiver.cc" "src/core/CMakeFiles/desc_core.dir/receiver.cc.o" "gcc" "src/core/CMakeFiles/desc_core.dir/receiver.cc.o.d"
+  "/root/repo/src/core/transmitter.cc" "src/core/CMakeFiles/desc_core.dir/transmitter.cc.o" "gcc" "src/core/CMakeFiles/desc_core.dir/transmitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/desc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/desc_encoding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desc_core.dir/chunk.cc.o"
+  "CMakeFiles/desc_core.dir/chunk.cc.o.d"
+  "CMakeFiles/desc_core.dir/descscheme.cc.o"
+  "CMakeFiles/desc_core.dir/descscheme.cc.o.d"
+  "CMakeFiles/desc_core.dir/factory.cc.o"
+  "CMakeFiles/desc_core.dir/factory.cc.o.d"
+  "CMakeFiles/desc_core.dir/link.cc.o"
+  "CMakeFiles/desc_core.dir/link.cc.o.d"
+  "CMakeFiles/desc_core.dir/receiver.cc.o"
+  "CMakeFiles/desc_core.dir/receiver.cc.o.d"
+  "CMakeFiles/desc_core.dir/transmitter.cc.o"
+  "CMakeFiles/desc_core.dir/transmitter.cc.o.d"
+  "libdesc_core.a"
+  "libdesc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

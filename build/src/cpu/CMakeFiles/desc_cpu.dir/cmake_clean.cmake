@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desc_cpu.dir/inorder.cc.o"
+  "CMakeFiles/desc_cpu.dir/inorder.cc.o.d"
+  "CMakeFiles/desc_cpu.dir/ooo.cc.o"
+  "CMakeFiles/desc_cpu.dir/ooo.cc.o.d"
+  "libdesc_cpu.a"
+  "libdesc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desc_dram.dir/ddr3.cc.o"
+  "CMakeFiles/desc_dram.dir/ddr3.cc.o.d"
+  "libdesc_dram.a"
+  "libdesc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdesc_dram.a"
+)

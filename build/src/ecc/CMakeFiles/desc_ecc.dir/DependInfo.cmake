@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/blockcodec.cc" "src/ecc/CMakeFiles/desc_ecc.dir/blockcodec.cc.o" "gcc" "src/ecc/CMakeFiles/desc_ecc.dir/blockcodec.cc.o.d"
+  "/root/repo/src/ecc/hamming.cc" "src/ecc/CMakeFiles/desc_ecc.dir/hamming.cc.o" "gcc" "src/ecc/CMakeFiles/desc_ecc.dir/hamming.cc.o.d"
+  "/root/repo/src/ecc/injector.cc" "src/ecc/CMakeFiles/desc_ecc.dir/injector.cc.o" "gcc" "src/ecc/CMakeFiles/desc_ecc.dir/injector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/desc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/desc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/desc_encoding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

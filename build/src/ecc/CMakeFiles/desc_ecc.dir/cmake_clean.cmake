@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desc_ecc.dir/blockcodec.cc.o"
+  "CMakeFiles/desc_ecc.dir/blockcodec.cc.o.d"
+  "CMakeFiles/desc_ecc.dir/hamming.cc.o"
+  "CMakeFiles/desc_ecc.dir/hamming.cc.o.d"
+  "CMakeFiles/desc_ecc.dir/injector.cc.o"
+  "CMakeFiles/desc_ecc.dir/injector.cc.o.d"
+  "libdesc_ecc.a"
+  "libdesc_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desc_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

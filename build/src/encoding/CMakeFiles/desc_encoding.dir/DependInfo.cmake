@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/binary.cc" "src/encoding/CMakeFiles/desc_encoding.dir/binary.cc.o" "gcc" "src/encoding/CMakeFiles/desc_encoding.dir/binary.cc.o.d"
+  "/root/repo/src/encoding/businvert.cc" "src/encoding/CMakeFiles/desc_encoding.dir/businvert.cc.o" "gcc" "src/encoding/CMakeFiles/desc_encoding.dir/businvert.cc.o.d"
+  "/root/repo/src/encoding/dzc.cc" "src/encoding/CMakeFiles/desc_encoding.dir/dzc.cc.o" "gcc" "src/encoding/CMakeFiles/desc_encoding.dir/dzc.cc.o.d"
+  "/root/repo/src/encoding/scheme.cc" "src/encoding/CMakeFiles/desc_encoding.dir/scheme.cc.o" "gcc" "src/encoding/CMakeFiles/desc_encoding.dir/scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/desc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desc_encoding.dir/binary.cc.o"
+  "CMakeFiles/desc_encoding.dir/binary.cc.o.d"
+  "CMakeFiles/desc_encoding.dir/businvert.cc.o"
+  "CMakeFiles/desc_encoding.dir/businvert.cc.o.d"
+  "CMakeFiles/desc_encoding.dir/dzc.cc.o"
+  "CMakeFiles/desc_encoding.dir/dzc.cc.o.d"
+  "CMakeFiles/desc_encoding.dir/scheme.cc.o"
+  "CMakeFiles/desc_encoding.dir/scheme.cc.o.d"
+  "libdesc_encoding.a"
+  "libdesc_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desc_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

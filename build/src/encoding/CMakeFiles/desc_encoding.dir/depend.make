@@ -1,0 +1,2 @@
+# Empty dependencies file for desc_encoding.
+# This may be replaced when dependencies are built.

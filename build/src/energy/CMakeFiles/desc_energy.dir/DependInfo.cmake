@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/cacti.cc" "src/energy/CMakeFiles/desc_energy.dir/cacti.cc.o" "gcc" "src/energy/CMakeFiles/desc_energy.dir/cacti.cc.o.d"
+  "/root/repo/src/energy/mcpat.cc" "src/energy/CMakeFiles/desc_energy.dir/mcpat.cc.o" "gcc" "src/energy/CMakeFiles/desc_energy.dir/mcpat.cc.o.d"
+  "/root/repo/src/energy/synthesis.cc" "src/energy/CMakeFiles/desc_energy.dir/synthesis.cc.o" "gcc" "src/energy/CMakeFiles/desc_energy.dir/synthesis.cc.o.d"
+  "/root/repo/src/energy/tech.cc" "src/energy/CMakeFiles/desc_energy.dir/tech.cc.o" "gcc" "src/energy/CMakeFiles/desc_energy.dir/tech.cc.o.d"
+  "/root/repo/src/energy/wire.cc" "src/energy/CMakeFiles/desc_energy.dir/wire.cc.o" "gcc" "src/energy/CMakeFiles/desc_energy.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/desc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desc_energy.dir/cacti.cc.o"
+  "CMakeFiles/desc_energy.dir/cacti.cc.o.d"
+  "CMakeFiles/desc_energy.dir/mcpat.cc.o"
+  "CMakeFiles/desc_energy.dir/mcpat.cc.o.d"
+  "CMakeFiles/desc_energy.dir/synthesis.cc.o"
+  "CMakeFiles/desc_energy.dir/synthesis.cc.o.d"
+  "CMakeFiles/desc_energy.dir/tech.cc.o"
+  "CMakeFiles/desc_energy.dir/tech.cc.o.d"
+  "CMakeFiles/desc_energy.dir/wire.cc.o"
+  "CMakeFiles/desc_energy.dir/wire.cc.o.d"
+  "libdesc_energy.a"
+  "libdesc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desc_sim.dir/energy_account.cc.o"
+  "CMakeFiles/desc_sim.dir/energy_account.cc.o.d"
+  "CMakeFiles/desc_sim.dir/experiment.cc.o"
+  "CMakeFiles/desc_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/desc_sim.dir/report.cc.o"
+  "CMakeFiles/desc_sim.dir/report.cc.o.d"
+  "CMakeFiles/desc_sim.dir/system.cc.o"
+  "CMakeFiles/desc_sim.dir/system.cc.o.d"
+  "libdesc_sim.a"
+  "libdesc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

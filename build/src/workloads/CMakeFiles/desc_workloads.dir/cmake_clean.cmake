@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desc_workloads.dir/apps.cc.o"
+  "CMakeFiles/desc_workloads.dir/apps.cc.o.d"
+  "CMakeFiles/desc_workloads.dir/backing.cc.o"
+  "CMakeFiles/desc_workloads.dir/backing.cc.o.d"
+  "CMakeFiles/desc_workloads.dir/stream.cc.o"
+  "CMakeFiles/desc_workloads.dir/stream.cc.o.d"
+  "CMakeFiles/desc_workloads.dir/valuemodel.cc.o"
+  "CMakeFiles/desc_workloads.dir/valuemodel.cc.o.d"
+  "libdesc_workloads.a"
+  "libdesc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

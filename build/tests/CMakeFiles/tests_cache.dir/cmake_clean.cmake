@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cache.dir/cache/test_array.cc.o"
+  "CMakeFiles/tests_cache.dir/cache/test_array.cc.o.d"
+  "CMakeFiles/tests_cache.dir/cache/test_coherence.cc.o"
+  "CMakeFiles/tests_cache.dir/cache/test_coherence.cc.o.d"
+  "CMakeFiles/tests_cache.dir/cache/test_hierarchy.cc.o"
+  "CMakeFiles/tests_cache.dir/cache/test_hierarchy.cc.o.d"
+  "tests_cache"
+  "tests_cache.pdb"
+  "tests_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

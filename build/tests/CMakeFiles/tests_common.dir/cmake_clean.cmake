@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_common.dir/common/test_bitvec.cc.o"
+  "CMakeFiles/tests_common.dir/common/test_bitvec.cc.o.d"
+  "CMakeFiles/tests_common.dir/common/test_rng.cc.o"
+  "CMakeFiles/tests_common.dir/common/test_rng.cc.o.d"
+  "CMakeFiles/tests_common.dir/common/test_stats.cc.o"
+  "CMakeFiles/tests_common.dir/common/test_stats.cc.o.d"
+  "CMakeFiles/tests_common.dir/common/test_table.cc.o"
+  "CMakeFiles/tests_common.dir/common/test_table.cc.o.d"
+  "tests_common"
+  "tests_common.pdb"
+  "tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

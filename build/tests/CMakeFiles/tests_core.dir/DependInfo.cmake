@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_adaptive.cc" "tests/CMakeFiles/tests_core.dir/core/test_adaptive.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_adaptive.cc.o.d"
+  "/root/repo/tests/core/test_chunk.cc" "tests/CMakeFiles/tests_core.dir/core/test_chunk.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_chunk.cc.o.d"
+  "/root/repo/tests/core/test_descscheme.cc" "tests/CMakeFiles/tests_core.dir/core/test_descscheme.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_descscheme.cc.o.d"
+  "/root/repo/tests/core/test_equivalence.cc" "tests/CMakeFiles/tests_core.dir/core/test_equivalence.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_equivalence.cc.o.d"
+  "/root/repo/tests/core/test_link_faults.cc" "tests/CMakeFiles/tests_core.dir/core/test_link_faults.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_link_faults.cc.o.d"
+  "/root/repo/tests/core/test_timing.cc" "tests/CMakeFiles/tests_core.dir/core/test_timing.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_timing.cc.o.d"
+  "/root/repo/tests/core/test_toggle.cc" "tests/CMakeFiles/tests_core.dir/core/test_toggle.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_toggle.cc.o.d"
+  "/root/repo/tests/core/test_txrx.cc" "tests/CMakeFiles/tests_core.dir/core/test_txrx.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_txrx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/desc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/desc_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/desc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/desc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

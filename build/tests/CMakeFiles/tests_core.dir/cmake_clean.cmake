@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/test_adaptive.cc.o"
+  "CMakeFiles/tests_core.dir/core/test_adaptive.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/test_chunk.cc.o"
+  "CMakeFiles/tests_core.dir/core/test_chunk.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/test_descscheme.cc.o"
+  "CMakeFiles/tests_core.dir/core/test_descscheme.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/test_equivalence.cc.o"
+  "CMakeFiles/tests_core.dir/core/test_equivalence.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/test_link_faults.cc.o"
+  "CMakeFiles/tests_core.dir/core/test_link_faults.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/test_timing.cc.o"
+  "CMakeFiles/tests_core.dir/core/test_timing.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/test_toggle.cc.o"
+  "CMakeFiles/tests_core.dir/core/test_toggle.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/test_txrx.cc.o"
+  "CMakeFiles/tests_core.dir/core/test_txrx.cc.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cpu.dir/cpu/test_inorder.cc.o"
+  "CMakeFiles/tests_cpu.dir/cpu/test_inorder.cc.o.d"
+  "CMakeFiles/tests_cpu.dir/cpu/test_ooo.cc.o"
+  "CMakeFiles/tests_cpu.dir/cpu/test_ooo.cc.o.d"
+  "tests_cpu"
+  "tests_cpu.pdb"
+  "tests_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

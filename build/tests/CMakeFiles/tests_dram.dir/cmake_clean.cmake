@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_dram.dir/dram/test_ddr3.cc.o"
+  "CMakeFiles/tests_dram.dir/dram/test_ddr3.cc.o.d"
+  "tests_dram"
+  "tests_dram.pdb"
+  "tests_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ecc.dir/ecc/test_blockcodec.cc.o"
+  "CMakeFiles/tests_ecc.dir/ecc/test_blockcodec.cc.o.d"
+  "CMakeFiles/tests_ecc.dir/ecc/test_hamming.cc.o"
+  "CMakeFiles/tests_ecc.dir/ecc/test_hamming.cc.o.d"
+  "CMakeFiles/tests_ecc.dir/ecc/test_injector.cc.o"
+  "CMakeFiles/tests_ecc.dir/ecc/test_injector.cc.o.d"
+  "tests_ecc"
+  "tests_ecc.pdb"
+  "tests_ecc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/encoding/test_binary.cc" "tests/CMakeFiles/tests_encoding.dir/encoding/test_binary.cc.o" "gcc" "tests/CMakeFiles/tests_encoding.dir/encoding/test_binary.cc.o.d"
+  "/root/repo/tests/encoding/test_businvert.cc" "tests/CMakeFiles/tests_encoding.dir/encoding/test_businvert.cc.o" "gcc" "tests/CMakeFiles/tests_encoding.dir/encoding/test_businvert.cc.o.d"
+  "/root/repo/tests/encoding/test_dzc.cc" "tests/CMakeFiles/tests_encoding.dir/encoding/test_dzc.cc.o" "gcc" "tests/CMakeFiles/tests_encoding.dir/encoding/test_dzc.cc.o.d"
+  "/root/repo/tests/encoding/test_scheme_properties.cc" "tests/CMakeFiles/tests_encoding.dir/encoding/test_scheme_properties.cc.o" "gcc" "tests/CMakeFiles/tests_encoding.dir/encoding/test_scheme_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/desc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/desc_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/desc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/desc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_encoding.dir/encoding/test_binary.cc.o"
+  "CMakeFiles/tests_encoding.dir/encoding/test_binary.cc.o.d"
+  "CMakeFiles/tests_encoding.dir/encoding/test_businvert.cc.o"
+  "CMakeFiles/tests_encoding.dir/encoding/test_businvert.cc.o.d"
+  "CMakeFiles/tests_encoding.dir/encoding/test_dzc.cc.o"
+  "CMakeFiles/tests_encoding.dir/encoding/test_dzc.cc.o.d"
+  "CMakeFiles/tests_encoding.dir/encoding/test_scheme_properties.cc.o"
+  "CMakeFiles/tests_encoding.dir/encoding/test_scheme_properties.cc.o.d"
+  "tests_encoding"
+  "tests_encoding.pdb"
+  "tests_encoding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/energy/test_cacti.cc" "tests/CMakeFiles/tests_energy.dir/energy/test_cacti.cc.o" "gcc" "tests/CMakeFiles/tests_energy.dir/energy/test_cacti.cc.o.d"
+  "/root/repo/tests/energy/test_mcpat.cc" "tests/CMakeFiles/tests_energy.dir/energy/test_mcpat.cc.o" "gcc" "tests/CMakeFiles/tests_energy.dir/energy/test_mcpat.cc.o.d"
+  "/root/repo/tests/energy/test_synthesis.cc" "tests/CMakeFiles/tests_energy.dir/energy/test_synthesis.cc.o" "gcc" "tests/CMakeFiles/tests_energy.dir/energy/test_synthesis.cc.o.d"
+  "/root/repo/tests/energy/test_tech.cc" "tests/CMakeFiles/tests_energy.dir/energy/test_tech.cc.o" "gcc" "tests/CMakeFiles/tests_energy.dir/energy/test_tech.cc.o.d"
+  "/root/repo/tests/energy/test_wire.cc" "tests/CMakeFiles/tests_energy.dir/energy/test_wire.cc.o" "gcc" "tests/CMakeFiles/tests_energy.dir/energy/test_wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/desc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/desc_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/desc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/desc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

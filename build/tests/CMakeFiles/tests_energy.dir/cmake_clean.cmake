@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_energy.dir/energy/test_cacti.cc.o"
+  "CMakeFiles/tests_energy.dir/energy/test_cacti.cc.o.d"
+  "CMakeFiles/tests_energy.dir/energy/test_mcpat.cc.o"
+  "CMakeFiles/tests_energy.dir/energy/test_mcpat.cc.o.d"
+  "CMakeFiles/tests_energy.dir/energy/test_synthesis.cc.o"
+  "CMakeFiles/tests_energy.dir/energy/test_synthesis.cc.o.d"
+  "CMakeFiles/tests_energy.dir/energy/test_tech.cc.o"
+  "CMakeFiles/tests_energy.dir/energy/test_tech.cc.o.d"
+  "CMakeFiles/tests_energy.dir/energy/test_wire.cc.o"
+  "CMakeFiles/tests_energy.dir/energy/test_wire.cc.o.d"
+  "tests_energy"
+  "tests_energy.pdb"
+  "tests_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/sim/test_energy_account.cc.o"
+  "CMakeFiles/tests_sim.dir/sim/test_energy_account.cc.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_eventq.cc.o"
+  "CMakeFiles/tests_sim.dir/sim/test_eventq.cc.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_report.cc.o"
+  "CMakeFiles/tests_sim.dir/sim/test_report.cc.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_system.cc.o"
+  "CMakeFiles/tests_sim.dir/sim/test_system.cc.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_workloads.dir/workloads/test_apps.cc.o"
+  "CMakeFiles/tests_workloads.dir/workloads/test_apps.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/workloads/test_stream.cc.o"
+  "CMakeFiles/tests_workloads.dir/workloads/test_stream.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/workloads/test_valuemodel.cc.o"
+  "CMakeFiles/tests_workloads.dir/workloads/test_valuemodel.cc.o.d"
+  "tests_workloads"
+  "tests_workloads.pdb"
+  "tests_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_common[1]_include.cmake")
+include("/root/repo/build/tests/tests_encoding[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_energy[1]_include.cmake")
+include("/root/repo/build/tests/tests_ecc[1]_include.cmake")
+include("/root/repo/build/tests/tests_dram[1]_include.cmake")
+include("/root/repo/build/tests/tests_cache[1]_include.cmake")
+include("/root/repo/build/tests/tests_cpu[1]_include.cmake")
+include("/root/repo/build/tests/tests_workloads[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
