@@ -5,7 +5,11 @@
  * Each bench binary regenerates one table/figure of the paper's
  * evaluation (Section 5) and prints the same rows/series. Simulated
  * instruction budgets scale with the DESC_SIM_SCALE environment
- * variable (default 1.0).
+ * variable (default 1.0). Simulations fan out across DESC_SIM_JOBS
+ * worker threads and memoize their results on disk (see
+ * sim/runner.hh and sim/runcache.hh); submission order is preserved,
+ * so figure output is bit-identical regardless of the job count.
+ * Every harness prints a one-line runner summary on exit.
  */
 
 #ifndef DESC_BENCH_BENCHUTIL_HH
@@ -20,6 +24,8 @@
 #include "common/table.hh"
 #include "core/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/runcache.hh"
+#include "sim/runner.hh"
 
 namespace desc::bench {
 
@@ -41,6 +47,14 @@ sweepApps()
     return subset;
 }
 
+/** Run a batch of configurations through the shared thread pool;
+ *  results come back in submission order. */
+inline std::vector<sim::AppRun>
+runConfigs(const std::vector<sim::SystemConfig> &cfgs)
+{
+    return sim::globalRunner().run(cfgs);
+}
+
 /** Run one configured simulation for each parallel app; returns the
  *  per-app results in figure order. */
 inline std::vector<sim::AppRun>
@@ -49,14 +63,29 @@ runAllApps(const std::function<sim::SystemConfig(
            const std::vector<workloads::AppParams> &apps =
                workloads::parallelApps())
 {
-    std::vector<sim::AppRun> runs;
-    runs.reserve(apps.size());
-    for (const auto &app : apps) {
-        std::fprintf(stderr, "  running %s...\n", app.name);
-        runs.push_back(sim::runApp(make_cfg(app)));
-    }
-    return runs;
+    std::vector<sim::SystemConfig> cfgs;
+    cfgs.reserve(apps.size());
+    for (const auto &app : apps)
+        cfgs.push_back(make_cfg(app));
+    return runConfigs(cfgs);
 }
+
+namespace detail {
+
+/** Prints the runner/cache summary when a harness exits. */
+struct RunSummaryAtExit
+{
+    ~RunSummaryAtExit()
+    {
+        if (sim::runStats().jobs.value() == 0)
+            return;
+        std::fprintf(stderr, "%s\n", sim::runSummaryLine().c_str());
+    }
+};
+
+inline RunSummaryAtExit run_summary_at_exit;
+
+} // namespace detail
 
 } // namespace desc::bench
 

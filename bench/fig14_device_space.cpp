@@ -26,18 +26,30 @@ main()
     };
     std::vector<Point> points;
 
+    // One flat batch over all nine device combinations; the runner
+    // preserves submission order, so slice per combination below.
+    std::vector<sim::SystemConfig> cfgs;
     for (Device cell : devices) {
         for (Device periph : devices) {
-            std::string name = std::string(energy::deviceName(cell))
-                + "-" + energy::deviceName(periph);
-            std::fprintf(stderr, "config %s\n", name.c_str());
-            double l2 = 0, cyc = 0, proc = 0;
             for (const auto &app : apps) {
                 auto cfg = sim::baselineConfig(app);
                 cfg.insts_per_thread = bench::kSweepBudget;
                 cfg.l2.org.cell_dev = cell;
                 cfg.l2.org.periph_dev = periph;
-                auto run = sim::runApp(cfg);
+                cfgs.push_back(cfg);
+            }
+        }
+    }
+    auto runs = bench::runConfigs(cfgs);
+
+    std::size_t next = 0;
+    for (Device cell : devices) {
+        for (Device periph : devices) {
+            std::string name = std::string(energy::deviceName(cell))
+                + "-" + energy::deviceName(periph);
+            double l2 = 0, cyc = 0, proc = 0;
+            for (std::size_t i = 0; i < apps.size(); i++) {
+                const auto &run = runs[next++];
                 l2 += run.l2.total();
                 cyc += double(run.result.cycles);
                 proc += run.processor.total();

@@ -23,32 +23,43 @@ main()
     const unsigned segments[] = {64, 32, 16, 8, 4};
     auto apps = bench::sweepApps();
 
-    // Binary reference.
-    double binary_energy = 0;
+    // One flat batch: the binary reference first, then every
+    // (scheme, segment, app) point in sweep order.
+    std::vector<sim::SystemConfig> cfgs;
     for (const auto &app : apps) {
         auto cfg = sim::baselineConfig(app);
         cfg.insts_per_thread = bench::kSweepBudget;
-        binary_energy += sim::runApp(cfg).l2.total();
+        cfgs.push_back(cfg);
     }
+    for (SchemeKind kind : schemes) {
+        for (unsigned seg : segments) {
+            for (const auto &app : apps) {
+                auto cfg = sim::baselineConfig(app);
+                cfg.insts_per_thread = bench::kSweepBudget;
+                sim::applyScheme(cfg, kind);
+                cfg.l2.scheme_cfg.segment_bits = seg;
+                cfgs.push_back(cfg);
+            }
+        }
+    }
+    auto runs = bench::runConfigs(cfgs);
+
+    std::size_t next = 0;
+    double binary_energy = 0;
+    for (std::size_t i = 0; i < apps.size(); i++)
+        binary_energy += runs[next++].l2.total();
 
     Table t({"scheme", "64-bit", "32-bit", "16-bit", "8-bit", "4-bit",
              "best"});
     for (SchemeKind kind : schemes) {
-        std::fprintf(stderr, "scheme %s\n",
-                     sim::shortSchemeName(kind).c_str());
         t.row().add(sim::shortSchemeName(kind));
         double best = 1e30;
         unsigned best_seg = 0;
         std::vector<double> cells;
         for (unsigned seg : segments) {
             double e = 0;
-            for (const auto &app : apps) {
-                auto cfg = sim::baselineConfig(app);
-                cfg.insts_per_thread = bench::kSweepBudget;
-                sim::applyScheme(cfg, kind);
-                cfg.l2.scheme_cfg.segment_bits = seg;
-                e += sim::runApp(cfg).l2.total();
-            }
+            for (std::size_t i = 0; i < apps.size(); i++)
+                e += runs[next++].l2.total();
             double norm = e / binary_energy;
             cells.push_back(norm);
             if (norm < best) {

@@ -18,60 +18,68 @@ main()
 {
     auto apps = bench::sweepApps();
 
-    auto evaluate = [&](SchemeKind kind, unsigned banks, unsigned wires,
-                        unsigned chunk_bits, double *energy,
-                        double *time) {
-        double e = 0, c = 0;
+    // Gather every (scheme, banks, wires, chunk) point of the
+    // scatter, submit all of them as one batch, then aggregate each
+    // point's per-app slice in submission order.
+    struct Point
+    {
+        SchemeKind kind;
+        unsigned banks, wires, chunk;
+    };
+    std::vector<Point> pts;
+    pts.push_back(Point{SchemeKind::Binary, 8, 64, 4}); // baseline
+    const unsigned bank_opts[] = {4, 8, 16};
+    const unsigned wire_opts[] = {32, 64, 128, 256};
+    for (unsigned banks : bank_opts)
+        for (unsigned wires : wire_opts)
+            pts.push_back(Point{SchemeKind::Binary, banks, wires, 4});
+    const unsigned chunk_opts[] = {2, 4};
+    for (unsigned banks : bank_opts)
+        for (unsigned wires : wire_opts)
+            for (unsigned chunk : chunk_opts)
+                pts.push_back(
+                    Point{SchemeKind::DescZeroSkip, banks, wires, chunk});
+
+    std::vector<sim::SystemConfig> cfgs;
+    for (const auto &p : pts) {
         for (const auto &app : apps) {
             auto cfg = sim::baselineConfig(app);
             cfg.insts_per_thread = bench::kSweepBudget;
-            sim::applyScheme(cfg, kind);
-            cfg.l2.org.banks = banks;
-            cfg.l2.org.bus_wires = wires;
-            cfg.l2.scheme_cfg.bus_wires = wires;
-            cfg.l2.scheme_cfg.chunk_bits = chunk_bits;
-            auto run = sim::runApp(cfg);
-            e += run.l2.total();
-            c += double(run.result.cycles);
+            sim::applyScheme(cfg, p.kind);
+            cfg.l2.org.banks = p.banks;
+            cfg.l2.org.bus_wires = p.wires;
+            cfg.l2.scheme_cfg.bus_wires = p.wires;
+            cfg.l2.scheme_cfg.chunk_bits = p.chunk;
+            cfgs.push_back(cfg);
         }
-        *energy = e;
-        *time = c;
-    };
+    }
+    auto runs = bench::runConfigs(cfgs);
 
-    double base_e, base_t;
-    evaluate(SchemeKind::Binary, 8, 64, 4, &base_e, &base_t);
+    std::vector<double> energy(pts.size(), 0.0);
+    std::vector<double> time(pts.size(), 0.0);
+    for (std::size_t p = 0; p < pts.size(); p++) {
+        for (std::size_t i = 0; i < apps.size(); i++) {
+            const auto &run = runs[p * apps.size() + i];
+            energy[p] += run.l2.total();
+            time[p] += double(run.result.cycles);
+        }
+    }
+
+    double base_e = energy[0], base_t = time[0];
 
     Table t({"scheme", "banks", "wires", "chunk", "L2 energy (norm)",
              "exec time (norm)"});
-    const unsigned bank_opts[] = {4, 8, 16};
-    const unsigned wire_opts[] = {32, 64, 128, 256};
-    for (unsigned banks : bank_opts) {
-        for (unsigned wires : wire_opts) {
-            std::fprintf(stderr, "binary banks=%u wires=%u\n", banks,
-                         wires);
-            double e, c;
-            evaluate(SchemeKind::Binary, banks, wires, 4, &e, &c);
-            t.row().add("Binary").add(std::uint64_t{banks})
-                .add(std::uint64_t{wires}).add("-")
-                .add(e / base_e, 3).add(c / base_t, 3);
-        }
-    }
-    const unsigned chunk_opts[] = {2, 4};
-    for (unsigned banks : bank_opts) {
-        for (unsigned wires : wire_opts) {
-            for (unsigned chunk : chunk_opts) {
-                std::fprintf(stderr,
-                             "desc banks=%u wires=%u chunk=%u\n", banks,
-                             wires, chunk);
-                double e, c;
-                evaluate(SchemeKind::DescZeroSkip, banks, wires, chunk,
-                         &e, &c);
-                t.row().add("ZS-DESC").add(std::uint64_t{banks})
-                    .add(std::uint64_t{wires})
-                    .add(std::uint64_t{chunk})
-                    .add(e / base_e, 3).add(c / base_t, 3);
-            }
-        }
+    for (std::size_t p = 1; p < pts.size(); p++) {
+        const auto &pt = pts[p];
+        t.row()
+            .add(pt.kind == SchemeKind::Binary ? "Binary" : "ZS-DESC")
+            .add(std::uint64_t{pt.banks})
+            .add(std::uint64_t{pt.wires});
+        if (pt.kind == SchemeKind::Binary)
+            t.add("-");
+        else
+            t.add(std::uint64_t{pt.chunk});
+        t.add(energy[p] / base_e, 3).add(time[p] / base_t, 3);
     }
     t.print("Figure 22: design-space scatter, normalized to 8 banks / "
             "64-bit bus / binary (paper: DESC points cluster at lower "

@@ -15,11 +15,34 @@ main()
 {
     auto apps = bench::sweepApps();
 
-    double base_e = 0, base_t = 0;
+    // One flat batch: the binary baseline first, then every
+    // (chunk, wires, app) point in sweep order.
+    std::vector<sim::SystemConfig> cfgs;
     for (const auto &app : apps) {
         auto cfg = sim::baselineConfig(app);
         cfg.insts_per_thread = bench::kSweepBudget;
-        auto run = sim::runApp(cfg);
+        cfgs.push_back(cfg);
+    }
+    for (unsigned chunk : {1u, 2u, 4u, 8u}) {
+        for (unsigned wires : {32u, 64u, 128u, 256u}) {
+            for (const auto &app : apps) {
+                auto cfg = sim::baselineConfig(app);
+                cfg.insts_per_thread = bench::kSweepBudget;
+                sim::applyScheme(cfg,
+                                 encoding::SchemeKind::DescZeroSkip);
+                cfg.l2.org.bus_wires = wires;
+                cfg.l2.scheme_cfg.bus_wires = wires;
+                cfg.l2.scheme_cfg.chunk_bits = chunk;
+                cfgs.push_back(cfg);
+            }
+        }
+    }
+    auto runs = bench::runConfigs(cfgs);
+
+    std::size_t next = 0;
+    double base_e = 0, base_t = 0;
+    for (std::size_t i = 0; i < apps.size(); i++) {
+        const auto &run = runs[next++];
         base_e += run.l2.total();
         base_t += double(run.result.cycles);
     }
@@ -30,17 +53,9 @@ main()
     std::string best_cfg;
     for (unsigned chunk : {1u, 2u, 4u, 8u}) {
         for (unsigned wires : {32u, 64u, 128u, 256u}) {
-            std::fprintf(stderr, "chunk=%u wires=%u\n", chunk, wires);
             double e = 0, c = 0;
-            for (const auto &app : apps) {
-                auto cfg = sim::baselineConfig(app);
-                cfg.insts_per_thread = bench::kSweepBudget;
-                sim::applyScheme(cfg,
-                                 encoding::SchemeKind::DescZeroSkip);
-                cfg.l2.org.bus_wires = wires;
-                cfg.l2.scheme_cfg.bus_wires = wires;
-                cfg.l2.scheme_cfg.chunk_bits = chunk;
-                auto run = sim::runApp(cfg);
+            for (std::size_t i = 0; i < apps.size(); i++) {
+                const auto &run = runs[next++];
                 e += run.l2.total();
                 c += double(run.result.cycles);
             }

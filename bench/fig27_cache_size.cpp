@@ -15,32 +15,51 @@ main()
 {
     auto apps = bench::sweepApps();
 
-    auto evaluate = [&](encoding::SchemeKind kind,
-                        std::uint64_t capacity) {
-        double e = 0;
-        for (const auto &app : apps) {
-            auto cfg = sim::baselineConfig(app);
-            cfg.insts_per_thread = bench::kSweepBudget;
-            sim::applyScheme(cfg, kind);
-            cfg.l2.org.capacity_bytes = capacity;
-            e += sim::runApp(cfg).l2.total();
-        }
-        return e;
-    };
-
     const std::uint64_t mb = 1ull << 20;
     const std::uint64_t sizes[] = {mb / 2, mb, 2 * mb, 4 * mb,
                                    8 * mb, 16 * mb, 32 * mb, 64 * mb};
 
-    double base = evaluate(encoding::SchemeKind::Binary, 8 * mb);
+    // One flat batch: the 8MB binary reference, then per capacity a
+    // binary and a ZS-DESC slice, each across the sweep apps.
+    struct Point
+    {
+        encoding::SchemeKind kind;
+        std::uint64_t capacity;
+    };
+    std::vector<Point> pts;
+    pts.push_back(Point{encoding::SchemeKind::Binary, 8 * mb});
+    for (std::uint64_t size : sizes) {
+        pts.push_back(Point{encoding::SchemeKind::Binary, size});
+        pts.push_back(Point{encoding::SchemeKind::DescZeroSkip, size});
+    }
+
+    std::vector<sim::SystemConfig> cfgs;
+    for (const auto &p : pts) {
+        for (const auto &app : apps) {
+            auto cfg = sim::baselineConfig(app);
+            cfg.insts_per_thread = bench::kSweepBudget;
+            sim::applyScheme(cfg, p.kind);
+            cfg.l2.org.capacity_bytes = p.capacity;
+            cfgs.push_back(cfg);
+        }
+    }
+    auto runs = bench::runConfigs(cfgs);
+
+    auto pointEnergy = [&](std::size_t p) {
+        double e = 0;
+        for (std::size_t i = 0; i < apps.size(); i++)
+            e += runs[p * apps.size() + i].l2.total();
+        return e;
+    };
+
+    double base = pointEnergy(0);
 
     Table t({"capacity", "Binary (norm)", "ZS-DESC (norm)",
              "reduction"});
-    for (std::uint64_t size : sizes) {
-        std::fprintf(stderr, "capacity=%lluKB\n",
-                     (unsigned long long)(size >> 10));
-        double b = evaluate(encoding::SchemeKind::Binary, size);
-        double d = evaluate(encoding::SchemeKind::DescZeroSkip, size);
+    for (std::size_t s = 0; s < std::size(sizes); s++) {
+        std::uint64_t size = sizes[s];
+        double b = pointEnergy(1 + 2 * s);
+        double d = pointEnergy(2 + 2 * s);
         std::string label = size >= mb
             ? std::to_string(size / mb) + "MB"
             : std::to_string(size >> 10) + "KB";

@@ -57,11 +57,17 @@ class Rng
         return (std::uint64_t)(m >> 64);
     }
 
-    /** Uniform integer in [lo, hi] inclusive. */
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
     std::uint64_t
     between(std::uint64_t lo, std::uint64_t hi)
     {
-        return lo + below(hi - lo + 1);
+        // hi - lo + 1 wraps to 0 when [lo, hi] covers the whole
+        // 64-bit span, which would violate below()'s bound > 0
+        // precondition; every raw value is in range in that case.
+        std::uint64_t span = hi - lo;
+        if (span == ~std::uint64_t{0})
+            return next();
+        return lo + below(span + 1);
     }
 
     /** Uniform double in [0, 1). */

@@ -10,9 +10,12 @@
 #ifndef DESC_COMMON_STATS_HH
 #define DESC_COMMON_STATS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/log.hh"
 
 namespace desc {
 
@@ -50,6 +53,16 @@ class Average
     std::uint64_t count() const { return _count; }
     double min() const { return _min; }
     double max() const { return _max; }
+
+    /** Reinstate a previously harvested state (run-cache reload). */
+    void
+    restore(double sum, double min, double max, std::uint64_t count)
+    {
+        _sum = sum;
+        _min = min;
+        _max = max;
+        _count = count;
+    }
 
     void
     merge(const Average &o)
@@ -91,8 +104,15 @@ class Histogram
         _total += n;
     }
 
-    std::uint64_t bin(unsigned i) const { return _bins[i]; }
-    unsigned numBins() const { return _bins.size(); }
+    std::uint64_t
+    bin(unsigned i) const
+    {
+        DESC_ASSERT(i < _bins.size(), "histogram bin ", i,
+                    " out of range [0, ", _bins.size(), ")");
+        return _bins[i];
+    }
+
+    std::size_t numBins() const { return _bins.size(); }
     std::uint64_t total() const { return _total; }
     std::uint64_t overflow() const { return _overflow; }
 
@@ -100,12 +120,22 @@ class Histogram
     double
     fraction(unsigned i) const
     {
-        return _total ? double(_bins[i]) / double(_total) : 0.0;
+        return _total ? double(bin(i)) / double(_total) : 0.0;
     }
 
     double mean() const;
 
     void merge(const Histogram &o);
+
+    /** Reinstate a previously harvested state (run-cache reload). */
+    void
+    restore(std::vector<std::uint64_t> bins, std::uint64_t total,
+            std::uint64_t overflow)
+    {
+        _bins = std::move(bins);
+        _total = total;
+        _overflow = overflow;
+    }
 
   private:
     std::vector<std::uint64_t> _bins;

@@ -69,6 +69,26 @@ class ChunkStats
 
     const Histogram &histogram() const { return _hist; }
 
+    unsigned chunkBits() const { return _chunk_bits; }
+    unsigned wires() const { return _wires; }
+    std::uint64_t matches() const { return _matches; }
+    std::uint64_t matchCandidates() const { return _match_candidates; }
+
+    /**
+     * Reinstate previously harvested statistics (run-cache reload).
+     * The per-wire last-value state is not part of the harvest, so a
+     * restored object reports correct aggregates but must not
+     * observe() further blocks.
+     */
+    void
+    restore(Histogram hist, std::uint64_t matches,
+            std::uint64_t match_candidates)
+    {
+        _hist = std::move(hist);
+        _matches = matches;
+        _match_candidates = match_candidates;
+    }
+
   private:
     unsigned _chunk_bits;
     unsigned _wires;

@@ -46,7 +46,20 @@ struct AppRun
     energy::ProcessorEnergy processor;
 };
 
-/** Run one configuration (applies simScale() to the budget). */
+/** @p cfg with simScale() applied to the instruction budget (and the
+ *  budget clamped to a useful minimum). This is the configuration a
+ *  simulation actually runs — and the one the run cache hashes. */
+SystemConfig scaledConfig(const SystemConfig &cfg);
+
+/** Run one already-scaled configuration, bypassing the run cache. */
+AppRun runScaledApp(const SystemConfig &cfg);
+
+/**
+ * Run one configuration (applies simScale() to the budget). Results
+ * are memoized on disk keyed by the full scaled configuration (see
+ * sim/runcache.hh), so repeated identical points are loaded instead
+ * of re-simulated.
+ */
 AppRun runApp(const SystemConfig &cfg);
 
 /** Short display name for figure rows (matches paper legends). */

@@ -1,0 +1,133 @@
+#include "sim/runner.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+#include "sim/runcache.hh"
+
+namespace desc::sim {
+
+unsigned
+Runner::defaultJobs()
+{
+    if (const char *env = std::getenv("DESC_SIM_JOBS")) {
+        char *end = nullptr;
+        errno = 0;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && errno == 0 && v >= 1
+            && v <= 4096)
+            return unsigned(v);
+        warn(detail::concat("ignoring invalid DESC_SIM_JOBS=\"", env,
+                            "\" (want an integer in [1, 4096])"));
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+Runner::Runner(unsigned jobs)
+{
+    unsigned n = jobs ? jobs : defaultJobs();
+    _workers.reserve(n);
+    for (unsigned i = 0; i < n; i++)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+Runner::~Runner()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _work_cv.notify_all();
+    for (auto &t : _workers)
+        t.join();
+}
+
+void
+Runner::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _work_cv.wait(lock,
+                          [this] { return _stop || !_queue.empty(); });
+            if (_queue.empty()) // only when stopping
+                return;
+            job = _queue.front();
+            _queue.pop_front();
+        }
+        *job.out = runAppCached(*job.cfg);
+        finishOne();
+    }
+}
+
+void
+Runner::finishOne()
+{
+    using namespace std::chrono;
+    std::lock_guard<std::mutex> lock(_mutex);
+    _batch_done++;
+
+    auto now = steady_clock::now();
+    bool last = _batch_done == _batch_total;
+    if (last || now - _last_progress >= milliseconds(500)) {
+        _last_progress = now;
+        std::uint64_t hits =
+            runStats().cache_hits.value() - _batch_start_hits;
+        std::fprintf(stderr, "[runner] %zu/%zu points (%llu cached)\n",
+                     _batch_done, _batch_total,
+                     (unsigned long long)hits);
+    }
+    if (last)
+        _done_cv.notify_all();
+}
+
+std::vector<AppRun>
+Runner::run(const std::vector<SystemConfig> &cfgs)
+{
+    // Scale on the submitting thread so the jobs hash (and simulate)
+    // exactly what runApp() would.
+    std::vector<SystemConfig> scaled;
+    scaled.reserve(cfgs.size());
+    for (const auto &cfg : cfgs)
+        scaled.push_back(scaledConfig(cfg));
+
+    std::vector<AppRun> results(scaled.size());
+    if (scaled.empty())
+        return results;
+
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        DESC_ASSERT(!_running, "Runner::run is not reentrant");
+        _running = true;
+        _batch_total = scaled.size();
+        _batch_done = 0;
+        _batch_start_hits = runStats().cache_hits.value();
+        _last_progress = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < scaled.size(); i++)
+            _queue.push_back(Job{&scaled[i], &results[i]});
+    }
+    _work_cv.notify_all();
+
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _done_cv.wait(lock,
+                      [this] { return _batch_done == _batch_total; });
+        _running = false;
+    }
+    return results;
+}
+
+Runner &
+globalRunner()
+{
+    static Runner runner;
+    return runner;
+}
+
+} // namespace desc::sim

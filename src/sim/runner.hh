@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Parallel experiment execution.
+ *
+ * Every figure point is an independent, deterministically seeded
+ * simulation, so the harnesses fan their (SystemConfig -> AppRun)
+ * jobs across a fixed-size pool of worker threads. Results come back
+ * in submission order, which — together with per-config seeding and
+ * the absence of mutable global sim state — makes a parallel run
+ * bit-identical to a serial one.
+ *
+ * The pool size comes from DESC_SIM_JOBS (default: the machine's
+ * hardware concurrency). Each job first consults the on-disk run
+ * cache (sim/runcache.hh); progress is reported to stderr at most
+ * every half second instead of once per job.
+ */
+
+#ifndef DESC_SIM_RUNNER_HH
+#define DESC_SIM_RUNNER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace desc::sim {
+
+class Runner
+{
+  public:
+    /** Start a pool of @p jobs workers (0 means defaultJobs()). */
+    explicit Runner(unsigned jobs = 0);
+    ~Runner();
+
+    Runner(const Runner &) = delete;
+    Runner &operator=(const Runner &) = delete;
+
+    /** DESC_SIM_JOBS if set to a positive integer, otherwise the
+     *  hardware concurrency (at least 1). */
+    static unsigned defaultJobs();
+
+    unsigned jobs() const { return unsigned(_workers.size()); }
+
+    /**
+     * Run every configuration (scaling is applied here, exactly as
+     * runApp() would) and return the results in submission order.
+     * Blocks until the whole batch is done. One batch at a time.
+     */
+    std::vector<AppRun> run(const std::vector<SystemConfig> &cfgs);
+
+  private:
+    struct Job
+    {
+        const SystemConfig *cfg;
+        AppRun *out;
+    };
+
+    void workerLoop();
+    void finishOne();
+
+    std::vector<std::thread> _workers;
+
+    std::mutex _mutex;
+    std::condition_variable _work_cv; //!< workers wait for jobs
+    std::condition_variable _done_cv; //!< run() waits for the batch
+    std::deque<Job> _queue;
+    bool _stop = false;
+
+    // Current batch bookkeeping (guarded by _mutex).
+    bool _running = false;
+    std::size_t _batch_total = 0;
+    std::size_t _batch_done = 0;
+    std::uint64_t _batch_start_hits = 0;
+    std::chrono::steady_clock::time_point _last_progress{};
+};
+
+/** The shared pool the bench harnesses submit to. */
+Runner &globalRunner();
+
+} // namespace desc::sim
+
+#endif // DESC_SIM_RUNNER_HH

@@ -59,6 +59,38 @@ TEST(Rng, BetweenInclusiveBounds)
     EXPECT_TRUE(hi);
 }
 
+TEST(Rng, BetweenFullRangeDoesNotWrapToZeroBound)
+{
+    // hi - lo + 1 == 0 here; the old code passed bound 0 to below(),
+    // whose multiply-shift mapping then returned 0 for every draw.
+    Rng rng(21);
+    const std::uint64_t max = ~std::uint64_t{0};
+    bool nonzero = false, high_half = false;
+    for (int i = 0; i < 100; i++) {
+        auto v = rng.between(0, max);
+        nonzero |= v != 0;
+        high_half |= v > max / 2;
+    }
+    EXPECT_TRUE(nonzero);
+    EXPECT_TRUE(high_half);
+}
+
+TEST(Rng, BetweenFullRangeStaysDeterministic)
+{
+    Rng a(33), b(33);
+    const std::uint64_t max = ~std::uint64_t{0};
+    for (int i = 0; i < 20; i++)
+        EXPECT_EQ(a.between(0, max), b.next());
+}
+
+TEST(Rng, BetweenDegenerateRangeReturnsTheBound)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.between(42, 42), 42u);
+    const std::uint64_t max = ~std::uint64_t{0};
+    EXPECT_EQ(rng.between(max, max), max);
+}
+
 TEST(Rng, UniformInUnitInterval)
 {
     Rng rng(13);

@@ -117,3 +117,50 @@ TEST(Geomean, EmptyIsZero)
 {
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
 }
+
+TEST(HistogramDeath, OutOfRangeBinAsserts)
+{
+    Histogram h(4);
+    h.sample(1);
+    EXPECT_DEATH(h.bin(4), "out of range");
+    EXPECT_DEATH(h.bin(1000), "out of range");
+}
+
+TEST(Histogram, NumBinsIsExact)
+{
+    Histogram h(3);
+    EXPECT_EQ(h.numBins(), std::size_t{3});
+    Histogram empty;
+    EXPECT_EQ(empty.numBins(), std::size_t{0});
+}
+
+TEST(Average, RestoreRoundTrips)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(8.0);
+    Average b;
+    b.restore(a.sum(), a.min(), a.max(), a.count());
+    EXPECT_DOUBLE_EQ(b.mean(), a.mean());
+    EXPECT_DOUBLE_EQ(b.min(), 2.0);
+    EXPECT_DOUBLE_EQ(b.max(), 8.0);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Histogram, RestoreRoundTrips)
+{
+    Histogram h(4);
+    h.sample(0, 3);
+    h.sample(2);
+    h.sample(9); // overflow
+    Histogram r(4);
+    std::vector<std::uint64_t> bins;
+    for (unsigned i = 0; i < h.numBins(); i++)
+        bins.push_back(h.bin(i));
+    r.restore(std::move(bins), h.total(), h.overflow());
+    EXPECT_EQ(r.bin(0), 3u);
+    EXPECT_EQ(r.bin(2), 1u);
+    EXPECT_EQ(r.total(), 5u);
+    EXPECT_EQ(r.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(r.mean(), h.mean());
+}

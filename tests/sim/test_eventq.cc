@@ -77,6 +77,82 @@ TEST(EventQueue, ReturnsExecutedCount)
     EXPECT_EQ(eq.run(), 7u);
 }
 
+// The invariants below are what make parallel figure batches
+// comparable to serial ones: every simulation's event interleaving
+// is a pure function of its own schedule calls.
+
+TEST(EventQueue, CallbackAtCurrentCycleRunsAfterOlderSameCycleEvents)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // The first cycle-5 event schedules another cycle-5 event; FIFO
+    // order puts it after the pre-existing cycle-5 events but before
+    // anything later.
+    eq.schedule(5, [&]() {
+        order.push_back(0);
+        eq.schedule(5, [&]() { order.push_back(2); });
+    });
+    eq.schedule(5, [&]() { order.push_back(1); });
+    eq.schedule(6, [&]() { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, SelfScheduleAtCurrentCycleKeepsNow)
+{
+    EventQueue eq;
+    Cycle seen = ~Cycle{0};
+    eq.schedule(9, [&]() {
+        eq.scheduleIn(0, [&]() { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 9u);
+    EXPECT_EQ(eq.now(), 9u);
+}
+
+TEST(EventQueue, RunLimitIsInclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(50, [&]() { fired++; });
+    eq.schedule(51, [&]() { fired++; });
+    EXPECT_EQ(eq.run(50), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, NowDoesNotAdvancePastLimit)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.schedule(100, []() {});
+    eq.run(40);
+    // Time stands at the last executed event, not at the limit or
+    // the next pending event.
+    EXPECT_EQ(eq.now(), 10u);
+    eq.run();
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, EventsAtLimitMaySpawnSameCycleWork)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(20, [&]() {
+        order.push_back(0);
+        eq.schedule(20, [&]() { order.push_back(1); });
+        eq.schedule(21, [&]() { order.push_back(2); });
+    });
+    // Both cycle-20 events run under run(20); the cycle-21 spawn
+    // stays pending.
+    EXPECT_EQ(eq.run(20), 2u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(EventQueueDeath, PastSchedulingPanics)
 {
     EventQueue eq;

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the on-disk experiment result cache: config hashing,
+ * AppRun serialization round-trips, and miss handling for absent,
+ * corrupt, and disabled caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "sim/runcache.hh"
+#include "sim/runner.hh"
+
+using namespace desc;
+using namespace desc::sim;
+
+namespace {
+
+SystemConfig
+tinyConfig(const char *app = "FFT")
+{
+    SystemConfig cfg = baselineConfig(workloads::findApp(app));
+    cfg.cores = 2;
+    cfg.threads_per_core = 2;
+    cfg.insts_per_thread = 1000;
+    return cfg;
+}
+
+/** A fresh private cache directory, removed on destruction. */
+struct TempCacheDir
+{
+    std::string dir;
+
+    TempCacheDir()
+    {
+        static int counter = 0;
+        dir = (std::filesystem::temp_directory_path()
+               / ("desc-runcache-test-" + std::to_string(getpid())
+                  + "-" + std::to_string(counter++)))
+                  .string();
+        std::filesystem::create_directories(dir);
+    }
+
+    ~TempCacheDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+};
+
+void
+expectSameRun(const AppRun &a, const AppRun &b)
+{
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.instructions, b.result.instructions);
+    EXPECT_DOUBLE_EQ(a.result.seconds, b.result.seconds);
+
+    const auto &ha = a.result.hierarchy, &hb = b.result.hierarchy;
+    EXPECT_EQ(ha.l1d_accesses.value(), hb.l1d_accesses.value());
+    EXPECT_EQ(ha.l1d_misses.value(), hb.l1d_misses.value());
+    EXPECT_EQ(ha.l2_requests.value(), hb.l2_requests.value());
+    EXPECT_EQ(ha.l2_hits.value(), hb.l2_hits.value());
+    EXPECT_EQ(ha.read_transfers.value(), hb.read_transfers.value());
+    EXPECT_EQ(ha.write_transfers.value(), hb.write_transfers.value());
+    EXPECT_DOUBLE_EQ(ha.data_flips, hb.data_flips);
+    EXPECT_DOUBLE_EQ(ha.ctrl_flips, hb.ctrl_flips);
+    EXPECT_EQ(ha.bank_busy_cycles, hb.bank_busy_cycles);
+    EXPECT_DOUBLE_EQ(ha.hit_latency.mean(), hb.hit_latency.mean());
+    EXPECT_EQ(ha.hit_latency.count(), hb.hit_latency.count());
+    EXPECT_DOUBLE_EQ(ha.transfer_window.mean(),
+                     hb.transfer_window.mean());
+
+    EXPECT_EQ(a.result.chunks.totalChunks(),
+              b.result.chunks.totalChunks());
+    EXPECT_DOUBLE_EQ(a.result.chunks.zeroFraction(),
+                     b.result.chunks.zeroFraction());
+    EXPECT_DOUBLE_EQ(a.result.chunks.lastValueMatchFraction(),
+                     b.result.chunks.lastValueMatchFraction());
+
+    EXPECT_EQ(a.result.dram_reads, b.result.dram_reads);
+    EXPECT_EQ(a.result.dram_writes, b.result.dram_writes);
+
+    EXPECT_DOUBLE_EQ(a.l2.htree_dynamic, b.l2.htree_dynamic);
+    EXPECT_DOUBLE_EQ(a.l2.array_dynamic, b.l2.array_dynamic);
+    EXPECT_DOUBLE_EQ(a.l2.aux_dynamic, b.l2.aux_dynamic);
+    EXPECT_DOUBLE_EQ(a.l2.static_energy, b.l2.static_energy);
+    EXPECT_DOUBLE_EQ(a.processor.total(), b.processor.total());
+}
+
+} // namespace
+
+TEST(ConfigHash, StableForIdenticalConfigs)
+{
+    EXPECT_EQ(configHash(tinyConfig()), configHash(tinyConfig()));
+}
+
+TEST(ConfigHash, SensitiveToEveryResultRelevantKnob)
+{
+    auto base = configHash(tinyConfig());
+
+    auto cfg = tinyConfig();
+    cfg.seed ^= 1;
+    EXPECT_NE(configHash(cfg), base);
+
+    cfg = tinyConfig();
+    cfg.insts_per_thread++;
+    EXPECT_NE(configHash(cfg), base);
+
+    cfg = tinyConfig();
+    applyScheme(cfg, encoding::SchemeKind::DescZeroSkip);
+    EXPECT_NE(configHash(cfg), base);
+
+    cfg = tinyConfig();
+    cfg.l2.scheme_cfg.chunk_bits = 2;
+    EXPECT_NE(configHash(cfg), base);
+
+    cfg = tinyConfig();
+    cfg.l2.org.capacity_bytes *= 2;
+    EXPECT_NE(configHash(cfg), base);
+
+    cfg = tinyConfig();
+    cfg.l2.ecc = true;
+    EXPECT_NE(configHash(cfg), base);
+
+    EXPECT_NE(configHash(tinyConfig("LU")), base);
+}
+
+TEST(RunCache, StoreLoadRoundTrips)
+{
+    TempCacheDir tmp;
+    RunCache cache(tmp.dir);
+    ASSERT_TRUE(cache.enabled());
+
+    auto cfg = scaledConfig(tinyConfig());
+    cfg.l2.collect_chunk_stats = true; // exercise ChunkStats fields
+    AppRun run = runScaledApp(cfg);
+
+    auto key = configHash(cfg);
+    EXPECT_FALSE(cache.load(key).has_value());
+    cache.store(key, run);
+
+    auto loaded = cache.load(key);
+    ASSERT_TRUE(loaded.has_value());
+    expectSameRun(*loaded, run);
+}
+
+TEST(RunCache, CorruptEntryIsAMiss)
+{
+    TempCacheDir tmp;
+    RunCache cache(tmp.dir);
+
+    auto cfg = scaledConfig(tinyConfig());
+    auto key = configHash(cfg);
+    cache.store(key, runScaledApp(cfg));
+    ASSERT_TRUE(cache.load(key).has_value());
+
+    // Clobber every entry in the directory with garbage.
+    for (const auto &e :
+         std::filesystem::directory_iterator(tmp.dir)) {
+        std::ofstream out(e.path(),
+                          std::ios::binary | std::ios::trunc);
+        out << "not a run cache entry";
+    }
+    EXPECT_FALSE(cache.load(key).has_value());
+}
+
+TEST(RunCache, TruncatedEntryIsAMiss)
+{
+    TempCacheDir tmp;
+    RunCache cache(tmp.dir);
+
+    auto cfg = scaledConfig(tinyConfig());
+    auto key = configHash(cfg);
+    cache.store(key, runScaledApp(cfg));
+
+    for (const auto &e :
+         std::filesystem::directory_iterator(tmp.dir))
+        std::filesystem::resize_file(e.path(), 40);
+    EXPECT_FALSE(cache.load(key).has_value());
+}
+
+TEST(RunCache, DisabledCacheLoadsNothing)
+{
+    RunCache cache("");
+    EXPECT_FALSE(cache.enabled());
+
+    auto cfg = scaledConfig(tinyConfig());
+    auto key = configHash(cfg);
+    cache.store(key, runScaledApp(cfg)); // must be a no-op
+    EXPECT_FALSE(cache.load(key).has_value());
+}
+
+TEST(RunCache, RunAppMemoizesThroughTheGlobalCache)
+{
+    TempCacheDir tmp;
+    setGlobalRunCacheDir(tmp.dir);
+
+    auto cfg = tinyConfig("Barnes");
+    auto before = runStats();
+    AppRun first = runApp(cfg);
+    auto mid = runStats();
+    EXPECT_EQ(mid.simulated.value() - before.simulated.value(), 1u);
+    EXPECT_EQ(mid.cache_stores.value() - before.cache_stores.value(),
+              1u);
+
+    AppRun second = runApp(cfg);
+    auto after = runStats();
+    EXPECT_EQ(after.simulated.value() - mid.simulated.value(), 0u);
+    EXPECT_EQ(after.cache_hits.value() - mid.cache_hits.value(), 1u);
+    expectSameRun(first, second);
+
+    setGlobalRunCacheDir("");
+}
