@@ -1,5 +1,6 @@
 #include "cache/hierarchy.hh"
 
+#include "common/trace.hh"
 #include "core/factory.hh"
 
 namespace desc::cache {
@@ -125,6 +126,12 @@ MemHierarchy::transfer(unsigned bank_idx, const Block512 &data,
     _stats.transfer_window.sample(double(window));
     (write_dir ? _stats.write_transfers : _stats.read_transfers).inc();
 
+    DESC_TRACE_EVENT(Cache, _eq.now(), "bank ", bank_idx,
+                     write_dir ? " write" : " read",
+                     " transfer: window ", window, " cyc, ",
+                     r.data_flips, " data + ", r.control_flips,
+                     " ctrl flips, complete @", complete);
+
     return complete;
 }
 
@@ -172,6 +179,9 @@ MemHierarchy::recallForShared(L2Array::Line &line, Addr addr,
     l1line->meta.state = MesiState::Shared;
     if (was_dirty) {
         _stats.recalls.inc();
+        DESC_TRACE_EVENT(Cache, _eq.now(),
+                         "coherence recall: owner core ", owner,
+                         " addr 0x", std::hex, addr, std::dec);
         line.meta.data = l1line->meta.data;
         line.meta.dirty = true;
         *ready = transfer(bankOf(addr), line.meta.data, true, earliest);
@@ -284,6 +294,10 @@ MemHierarchy::l2Request(unsigned core, Addr addr, bool exclusive,
     auto *line = _l2.lookup(addr);
     if (line) {
         _stats.l2_hits.inc();
+        DESC_TRACE_EVENT(Cache, _eq.now(), "L2 hit: core ", core,
+                         exclusive ? " excl" : " shared",
+                         ifetch ? " ifetch" : "", " addr 0x",
+                         std::hex, addr, std::dec);
         unsigned bank = bankOf(addr);
         Cycle flight_out =
             _cfg.snuca ? _banks[bank].route_latency : _flight;
@@ -314,6 +328,10 @@ MemHierarchy::startMiss(unsigned core, Addr addr, bool exclusive,
                         bool ifetch, Cycle t0, DoneFn done)
 {
     _stats.l2_misses.inc();
+    DESC_TRACE_EVENT(Cache, _eq.now(), "L2 miss: core ", core,
+                     exclusive ? " excl" : " shared",
+                     ifetch ? " ifetch" : "", " addr 0x", std::hex,
+                     addr, std::dec, ", to DRAM");
     MshrEntry entry;
     entry.waiters.push_back(
         MshrEntry::Waiter{core, exclusive, ifetch, std::move(done)});
@@ -348,6 +366,9 @@ MemHierarchy::finishMiss(Addr addr, Cycle t0)
         invalidateSharers(v, va, unsigned(-1), _eq.now(), &ready);
         if (v.meta.dirty) {
             _stats.l2_evictions_out.inc();
+            DESC_TRACE_EVENT(Cache, _eq.now(),
+                             "L2 dirty eviction: addr 0x", std::hex,
+                             va, std::dec, " to DRAM");
             transfer(bank, v.meta.data, false, _eq.now());
             _backing.store(va, v.meta.data);
             _dram.access(va, true, nullptr);

@@ -2,33 +2,84 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_set>
 
 namespace desc {
+
+namespace {
+
+thread_local std::string t_context;
+
+/** "msg" or "[ctx] msg" when a thread context tag is set. */
+std::string
+contextualize(const std::string &msg)
+{
+    if (t_context.empty())
+        return msg;
+    return "[" + t_context + "] " + msg;
+}
+
+} // namespace
+
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void
+setThreadLogContext(const std::string &ctx)
+{
+    t_context = ctx;
+}
+
+const std::string &
+threadLogContext()
+{
+    return t_context;
+}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n",
+                 contextualize(msg).c_str(), file, line);
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n",
+                 contextualize(msg).c_str(), file, line);
     std::exit(1);
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "warn: %s\n", contextualize(msg).c_str());
+}
+
+void
+warnOnce(const std::string &key, const std::string &msg)
+{
+    {
+        static std::unordered_set<std::string> fired;
+        std::lock_guard<std::mutex> lock(logMutex());
+        if (!fired.insert(key).second)
+            return;
+    }
+    warn(msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "info: %s\n", contextualize(msg).c_str());
 }
 
 } // namespace desc

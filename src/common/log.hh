@@ -9,6 +9,7 @@
 #ifndef DESC_COMMON_LOG_HH
 #define DESC_COMMON_LOG_HH
 
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -27,6 +28,32 @@ void warn(const std::string &msg);
 
 /** Print an informational message to stderr. */
 void inform(const std::string &msg);
+
+/**
+ * Print @p msg as a warning at most once per process for a given
+ * @p key, no matter how many threads fire it. Parallel sweeps route
+ * per-configuration diagnostics through this so a warning that holds
+ * for every run of a batch is not repeated N times interleaved on
+ * stderr.
+ */
+void warnOnce(const std::string &key, const std::string &msg);
+
+/** warnOnce() keyed by the message itself. */
+inline void warnOnce(const std::string &msg) { warnOnce(msg, msg); }
+
+/**
+ * Tag this thread's warn()/inform()/trace output with a short context
+ * string (e.g. "w3" for runner worker 3). Empty clears the tag. The
+ * tag is thread-local; the pool workers set it so diagnostics fired
+ * from inside a parallel sweep are attributable to their run.
+ */
+void setThreadLogContext(const std::string &ctx);
+
+/** This thread's current context tag ("" when unset). */
+const std::string &threadLogContext();
+
+/** Mutex serializing all diagnostic/trace output lines. */
+std::mutex &logMutex();
 
 namespace detail {
 

@@ -9,21 +9,24 @@ namespace desc {
 double
 Histogram::mean() const
 {
-    if (_total == 0)
+    // Mean of the in-range samples only: the overflow bucket does not
+    // retain exact values, so they are excluded rather than silently
+    // clamped (see the class contract).
+    std::uint64_t in_range = inRange();
+    if (in_range == 0)
         return 0.0;
     double sum = 0.0;
     for (unsigned i = 0; i < _bins.size(); i++)
         sum += double(i) * double(_bins[i]);
-    // Overflowed samples are counted at the first out-of-range value;
-    // callers size the histogram so overflow is negligible.
-    sum += double(_bins.size()) * double(_overflow);
-    return sum / double(_total);
+    return sum / double(in_range);
 }
 
 void
 Histogram::merge(const Histogram &o)
 {
-    if (_bins.empty()) {
+    if (o._bins.empty() && o._total == 0)
+        return; // merging a default-constructed histogram is a no-op
+    if (_bins.empty() && _total == 0) {
         *this = o;
         return;
     }
@@ -43,6 +46,159 @@ geomean(const std::vector<double> &values)
     for (double v : values)
         log_sum += std::log(v);
     return std::exp(log_sum / double(values.size()));
+}
+
+// --- StatRegistry -------------------------------------------------
+
+namespace {
+
+const char *
+kindName(StatRegistry::Kind k)
+{
+    switch (k) {
+      case StatRegistry::Kind::Counter:
+        return "counter";
+      case StatRegistry::Kind::Average:
+        return "average";
+      case StatRegistry::Kind::Histogram:
+        return "histogram";
+      case StatRegistry::Kind::Scalar:
+        return "scalar";
+      case StatRegistry::Kind::Int:
+        return "int";
+      case StatRegistry::Kind::Text:
+        return "text";
+    }
+    return "?";
+}
+
+void
+validatePath(const std::string &path)
+{
+    DESC_ASSERT(!path.empty(), "empty stat path");
+    DESC_ASSERT(path.front() != '.' && path.back() != '.'
+                    && path.find("..") == std::string::npos,
+                "malformed stat path \"", path,
+                "\" (want non-empty dot-separated segments)");
+}
+
+} // namespace
+
+StatRegistry::Entry &
+StatRegistry::insert(const std::string &path, Kind kind)
+{
+    validatePath(path);
+    DESC_ASSERT(!_entries.count(path), "duplicate stat path \"", path,
+                "\"");
+
+    // A leaf must never also be an interior node: reject a new path
+    // that is a dotted prefix of an existing one or vice versa.
+    auto after = _entries.lower_bound(path + ".");
+    DESC_ASSERT(after == _entries.end()
+                    || after->first.compare(0, path.size() + 1,
+                                            path + ".") != 0,
+                "stat path \"", path, "\" conflicts with existing leaf \"",
+                after == _entries.end() ? "" : after->first, "\"");
+    for (std::size_t dot = path.find('.'); dot != std::string::npos;
+         dot = path.find('.', dot + 1)) {
+        DESC_ASSERT(!_entries.count(path.substr(0, dot)),
+                    "stat path \"", path,
+                    "\" conflicts with existing leaf \"",
+                    path.substr(0, dot), "\"");
+    }
+
+    Entry e;
+    e.kind = kind;
+    return _entries.emplace(path, e).first->second;
+}
+
+void
+StatRegistry::add(const std::string &path, const Counter &c)
+{
+    insert(path, Kind::Counter).counter = &c;
+}
+
+void
+StatRegistry::add(const std::string &path, const Average &a)
+{
+    insert(path, Kind::Average).average = &a;
+}
+
+void
+StatRegistry::add(const std::string &path, const Histogram &h)
+{
+    insert(path, Kind::Histogram).histogram = &h;
+}
+
+void
+StatRegistry::addScalar(const std::string &path, double v)
+{
+    insert(path, Kind::Scalar).scalar = v;
+}
+
+void
+StatRegistry::addInt(const std::string &path, std::uint64_t v)
+{
+    insert(path, Kind::Int).integer = v;
+}
+
+void
+StatRegistry::addText(const std::string &path, std::string v)
+{
+    insert(path, Kind::Text).text = std::move(v);
+}
+
+bool
+StatRegistry::contains(const std::string &path) const
+{
+    return _entries.count(path) != 0;
+}
+
+const StatRegistry::Entry &
+StatRegistry::lookup(const std::string &path, Kind kind) const
+{
+    auto it = _entries.find(path);
+    DESC_ASSERT(it != _entries.end(), "unknown stat path \"", path,
+                "\"");
+    DESC_ASSERT(it->second.kind == kind, "stat \"", path, "\" is a ",
+                kindName(it->second.kind), ", not a ", kindName(kind));
+    return it->second;
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string &path) const
+{
+    return lookup(path, Kind::Counter).counter->value();
+}
+
+const Average &
+StatRegistry::average(const std::string &path) const
+{
+    return *lookup(path, Kind::Average).average;
+}
+
+const Histogram &
+StatRegistry::histogram(const std::string &path) const
+{
+    return *lookup(path, Kind::Histogram).histogram;
+}
+
+double
+StatRegistry::scalar(const std::string &path) const
+{
+    return lookup(path, Kind::Scalar).scalar;
+}
+
+std::uint64_t
+StatRegistry::integer(const std::string &path) const
+{
+    return lookup(path, Kind::Int).integer;
+}
+
+const std::string &
+StatRegistry::text(const std::string &path) const
+{
+    return lookup(path, Kind::Text).text;
 }
 
 } // namespace desc

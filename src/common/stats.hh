@@ -1,10 +1,14 @@
 /**
  * @file
- * Lightweight statistics primitives used by all simulated components.
+ * Lightweight statistics primitives used by all simulated components,
+ * and the hierarchical registry the observability layer dumps.
  *
- * The simulator favors explicit stat structs over a global registry;
- * components expose their stats objects and the run driver aggregates
- * them at the end of a simulation.
+ * Components keep explicit stat structs (Counter/Average/Histogram
+ * members); at harvest time the run driver registers those objects in
+ * a StatRegistry under dotted paths ("l2.hits", "link.data_flips"),
+ * from which the human-readable report and the machine-readable
+ * JSON/CSV dumps (sim/statdump.hh) are both produced — one source of
+ * truth for every reported number.
  */
 
 #ifndef DESC_COMMON_STATS_HH
@@ -12,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -88,7 +93,17 @@ class Average
     std::uint64_t _count = 0;
 };
 
-/** Fixed-bin histogram over integer samples [0, bins). */
+/**
+ * Fixed-bin histogram over integer samples [0, bins).
+ *
+ * Overflow contract: samples >= numBins() land in a dedicated
+ * overflow bucket. total() counts every sample, in range or not;
+ * bin(i)/fraction(i) describe only in-range samples, so the bin
+ * fractions sum to 1 - overflowFraction(); mean() is the mean of the
+ * in-range samples only (the overflow bucket does not remember exact
+ * values, so including it would silently clamp them — callers that
+ * care report overflowFraction() alongside).
+ */
 class Histogram
 {
   public:
@@ -116,13 +131,24 @@ class Histogram
     std::uint64_t total() const { return _total; }
     std::uint64_t overflow() const { return _overflow; }
 
-    /** Fraction of samples that fell into bin @p i. */
+    /** Samples that fell inside [0, numBins()). */
+    std::uint64_t inRange() const { return _total - _overflow; }
+
+    /** Fraction of all samples that fell into bin @p i. */
     double
     fraction(unsigned i) const
     {
         return _total ? double(bin(i)) / double(_total) : 0.0;
     }
 
+    /** Fraction of all samples that overflowed the binned range. */
+    double
+    overflowFraction() const
+    {
+        return _total ? double(_overflow) / double(_total) : 0.0;
+    }
+
+    /** Mean of the in-range samples (see the overflow contract). */
     double mean() const;
 
     void merge(const Histogram &o);
@@ -145,6 +171,66 @@ class Histogram
 
 /** Geometric mean of a series (used for the per-app Geomean rows). */
 double geomean(const std::vector<double> &values);
+
+/**
+ * A tree of named statistics, keyed by dotted paths
+ * ("l2.bank3.desc.transitions"). Stat objects are registered by
+ * reference — the registry does not own them and must not outlive
+ * them — while derived quantities (rates, energies) are registered as
+ * value snapshots. Paths are unique and a leaf can never also be an
+ * interior node, so the tree always serializes cleanly.
+ *
+ * Entries iterate in lexicographic path order, which makes every dump
+ * deterministic.
+ */
+class StatRegistry
+{
+  public:
+    enum class Kind { Counter, Average, Histogram, Scalar, Int, Text };
+
+    struct Entry
+    {
+        Kind kind;
+        const desc::Counter *counter = nullptr;
+        const desc::Average *average = nullptr;
+        const desc::Histogram *histogram = nullptr;
+        double scalar = 0.0;
+        std::uint64_t integer = 0;
+        std::string text;
+    };
+
+    void add(const std::string &path, const Counter &c);
+    void add(const std::string &path, const Average &a);
+    void add(const std::string &path, const Histogram &h);
+    void addScalar(const std::string &path, double v);
+    void addInt(const std::string &path, std::uint64_t v);
+    void addText(const std::string &path, std::string v);
+
+    bool contains(const std::string &path) const;
+
+    /** Typed lookups; missing path or kind mismatch is a panic. */
+    std::uint64_t counterValue(const std::string &path) const;
+    const Average &average(const std::string &path) const;
+    const Histogram &histogram(const std::string &path) const;
+    double scalar(const std::string &path) const;
+    std::uint64_t integer(const std::string &path) const;
+    const std::string &text(const std::string &path) const;
+
+    std::size_t size() const { return _entries.size(); }
+    bool empty() const { return _entries.empty(); }
+
+    /** All entries, sorted by path. */
+    const std::map<std::string, Entry> &entries() const
+    {
+        return _entries;
+    }
+
+  private:
+    Entry &insert(const std::string &path, Kind kind);
+    const Entry &lookup(const std::string &path, Kind kind) const;
+
+    std::map<std::string, Entry> _entries;
+};
 
 } // namespace desc
 

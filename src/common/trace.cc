@@ -1,0 +1,146 @@
+#include "common/trace.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace desc::trace {
+
+namespace {
+
+constexpr const char *kNames[kNumChannels] = {
+    "link", "cache", "dram", "runner"};
+
+/** Explicit override from setStream(); nullptr means "default". */
+std::FILE *g_override = nullptr;
+
+/** Stream selected by DESC_TRACE_FILE (opened lazily, never closed —
+ *  trace points may fire from static destructors). */
+std::FILE *
+defaultStream()
+{
+    static std::FILE *f = [] {
+        const char *path = std::getenv("DESC_TRACE_FILE");
+        if (!path || !*path)
+            return stderr;
+        std::FILE *out = std::fopen(path, "w");
+        if (!out) {
+            warn(desc::detail::concat("cannot open DESC_TRACE_FILE \"",
+                                      path, "\"; tracing to stderr"));
+            return stderr;
+        }
+        return out;
+    }();
+    return f;
+}
+
+std::FILE *
+stream()
+{
+    return g_override ? g_override : defaultStream();
+}
+
+void
+write(Channel c, const char *cycle_field, const std::string &msg)
+{
+    const std::string &ctx = threadLogContext();
+    // Resolve the stream before locking: the first resolution may
+    // warn() about a bad DESC_TRACE_FILE, which takes logMutex too.
+    std::FILE *out = stream();
+    std::lock_guard<std::mutex> lock(logMutex());
+    if (ctx.empty()) {
+        std::fprintf(out, "%12s: %s: %s\n", cycle_field,
+                     channelName(c), msg.c_str());
+    } else {
+        std::fprintf(out, "%12s: %s: [%s] %s\n", cycle_field,
+                     channelName(c), ctx.c_str(), msg.c_str());
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+std::uint32_t mask = [] {
+    return parseSpec(std::getenv("DESC_TRACE"));
+}();
+
+} // namespace detail
+
+const char *
+channelName(Channel c)
+{
+    DESC_ASSERT(unsigned(c) < kNumChannels, "bad trace channel");
+    return kNames[unsigned(c)];
+}
+
+std::uint32_t
+parseSpec(const char *spec)
+{
+    if (!spec || !*spec)
+        return 0;
+
+    std::uint32_t mask = 0;
+    const char *p = spec;
+    while (*p) {
+        const char *end = std::strchr(p, ',');
+        std::string name(p, end ? std::size_t(end - p) : std::strlen(p));
+        p = end ? end + 1 : p + name.size();
+
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            mask |= (1u << kNumChannels) - 1;
+            continue;
+        }
+        bool found = false;
+        for (unsigned c = 0; c < kNumChannels; c++) {
+            if (name == kNames[c]) {
+                mask |= 1u << c;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            warnOnce("trace-channel-" + name,
+                     desc::detail::concat(
+                         "ignoring unknown trace channel \"", name,
+                         "\" (known: link, cache, dram, runner, all)"));
+        }
+    }
+    return mask;
+}
+
+void
+setMask(std::uint32_t mask)
+{
+    detail::mask = mask;
+}
+
+std::uint32_t
+mask()
+{
+    return detail::mask;
+}
+
+void
+setStream(std::FILE *out)
+{
+    g_override = out;
+}
+
+void
+emit(Channel c, std::uint64_t cycle, const std::string &msg)
+{
+    char field[24];
+    std::snprintf(field, sizeof(field), "%llu",
+                  (unsigned long long)cycle);
+    write(c, field, msg);
+}
+
+void
+emitHost(Channel c, const std::string &msg)
+{
+    write(c, "-", msg);
+}
+
+} // namespace desc::trace

@@ -1,5 +1,7 @@
 #include "core/link.hh"
 
+#include "common/trace.hh"
+
 namespace desc::core {
 
 DescLink::DescLink(const DescConfig &cfg)
@@ -21,6 +23,8 @@ DescLink::transferBlock(const BitVec &block, BitVec *received)
         WireBundle bundle = _tx.wires();
         if (_fault)
             _fault(_cycle, bundle);
+        if (_observer)
+            _observer(_cycle, bundle);
 
         // Count transitions against the previous cycle's levels.
         for (unsigned w = 0; w < _cfg.activeWires(); w++) {
@@ -41,6 +45,11 @@ DescLink::transferBlock(const BitVec &block, BitVec *received)
 
     DESC_ASSERT(_rx.blockReady(), "receiver incomplete after transfer");
     result.skipped = _cfg.numChunks() - result.data_flips;
+    DESC_TRACE_EVENT(Link, _cycle, "block transferred: ",
+                     result.cycles, " cycles, ", result.data_flips,
+                     " data + ", result.control_flips,
+                     " ctrl flips, ", result.skipped,
+                     " skipped chunks (", skipModeName(_cfg.skip), ")");
     BitVec out = _rx.takeBlock();
     if (received)
         *received = out;

@@ -36,6 +36,15 @@ class DescLink
     void setFaultHook(FaultHook hook) { _fault = std::move(hook); }
 
     /**
+     * Optional wire observer: called once per cycle with the bundle
+     * the receiver sees (after fault injection), stamped with the
+     * link's monotonic cycle count. This is the snapshot path the VCD
+     * waveform export attaches to (sim/vcd.hh).
+     */
+    using WireHook = std::function<void(Cycle, const WireBundle &)>;
+    void setWireHook(WireHook hook) { _observer = std::move(hook); }
+
+    /**
      * Transmit @p block end to end; @p received (if non-null) gets the
      * block the receiver recovered.
      */
@@ -54,6 +63,7 @@ class DescLink
     WireBundle _prev;
     Cycle _cycle = 0;
     FaultHook _fault;
+    WireHook _observer;
 };
 
 } // namespace desc::core

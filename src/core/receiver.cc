@@ -1,5 +1,6 @@
 #include "core/receiver.hh"
 
+#include "common/trace.hh"
 #include "core/chunk.hh"
 #include "core/timing.hh"
 
@@ -57,8 +58,14 @@ DescReceiver::finalizeWave()
     }
     _wave_open = false;
     _wave++;
-    if (_wave == _cfg.numWaves())
+    DESC_TRACE_EVENT(Link, _ticks, "rx: wave ", _wave - 1,
+                     " finalized (", _wave_got, "/", wires,
+                     " strobed, rest skipped)");
+    if (_wave == _cfg.numWaves()) {
         _ready = true;
+        DESC_TRACE_EVENT(Link, _ticks, "rx: block ready (", _wave,
+                         " waves)");
+    }
 }
 
 void
@@ -66,6 +73,7 @@ DescReceiver::observe(const WireBundle &wires_in)
 {
     unsigned wires = _cfg.activeWires();
     DESC_ASSERT(wires_in.data.size() == wires, "wire count mismatch");
+    _ticks++;
 
     _sync_td.sample(wires_in.sync);
 
@@ -104,6 +112,8 @@ DescReceiver::observe(const WireBundle &wires_in)
         if (_received == _cfg.numChunks()) {
             _in_block = false;
             _ready = true;
+            DESC_TRACE_EVENT(Link, _ticks, "rx: block ready (",
+                             _received, " chunks, basic mode)");
         }
         return;
     }

@@ -50,6 +50,9 @@ class DescReceiver
 
     DescConfig _cfg;
 
+    /** Lifetime observed-cycle count (trace timestamps only). */
+    std::uint64_t _ticks = 0;
+
     std::vector<ToggleDetector> _data_td;
     ToggleDetector _reset_td;
     ToggleDetector _sync_td;

@@ -1,5 +1,6 @@
 #include "core/transmitter.hh"
 
+#include "common/trace.hh"
 #include "core/chunk.hh"
 #include "core/timing.hh"
 
@@ -59,6 +60,11 @@ DescTransmitter::loadBlock(const BitVec &block)
     for (unsigned i = 0; i < chunks.size(); i++)
         _fifos[chunkWire(i, wires)].push(chunks[i]);
 
+    DESC_TRACE_EVENT(Link, _ticks, "tx: block loaded: ", chunks.size(),
+                     " chunks on ", wires, " wires, ",
+                     _cfg.numWaves(), " wave(s), ",
+                     skipModeName(_cfg.skip));
+
     _busy = true;
     if (_cfg.skip == SkipMode::None) {
         _need_reset_pulse = true;
@@ -103,6 +109,10 @@ DescTransmitter::openWave()
     // pulse can toggle the shared wire again.
     if (_wave_window == 0)
         _wave_window = 1;
+
+    DESC_TRACE_EVENT(Link, _ticks, "tx: wave ", _wave, " open, window ",
+                     _wave_window, " cycles",
+                     _wave_any_skipped ? ", has skipped chunks" : "");
 }
 
 void
@@ -110,6 +120,7 @@ DescTransmitter::tick()
 {
     if (!_busy)
         return;
+    _ticks++;
 
     // The synchronization strobe toggles every cycle of an ongoing
     // transfer (half-frequency clock forwarding, Section 3.1).

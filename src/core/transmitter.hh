@@ -64,6 +64,9 @@ class DescTransmitter
     DescConfig _cfg;
     WireBundle _wires;
 
+    /** Lifetime tick count (trace timestamps only). */
+    std::uint64_t _ticks = 0;
+
     std::vector<ToggleGenerator> _data_tg;
     ToggleGenerator _reset_tg;
     ToggleGenerator _sync_tg;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/trace.hh"
+
 namespace desc::dram {
 
 DramSystem::DramSystem(sim::EventQueue &eq, const DramConfig &cfg)
@@ -97,6 +99,12 @@ DramSystem::trySchedule(unsigned ch_idx)
         _stats.writes.inc();
     else
         _stats.reads.inc();
+
+    DESC_TRACE_EVENT(Dram, _eq.now(), req.is_write ? "write" : "read",
+                     " ch ", ch_idx, " bank ", bankOf(req.addr),
+                     row_hit ? " row hit" : " row miss", ", addr 0x",
+                     std::hex, req.addr, std::dec, ", complete @",
+                     complete);
 
     Cycle issued = req.issued;
     _eq.schedule(complete, [this, ch_idx, issued,

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/trace.hh"
+#include "sim/statdump.hh"
 
 namespace desc::sim {
 
@@ -369,6 +371,63 @@ mutableStats()
     return stats;
 }
 
+/** Short display tag for trace/manifest lines: app/scheme#hash8. */
+std::string
+runTag(const SystemConfig &cfg, std::uint64_t key)
+{
+    char hash8[12];
+    std::snprintf(hash8, sizeof(hash8), "%08llx",
+                  (unsigned long long)(key >> 32));
+    return detail::concat(cfg.app.name, "/",
+                          shortSchemeName(cfg.l2.scheme), "#", hash8);
+}
+
+/**
+ * Append one JSON line describing an executed run to the
+ * DESC_RUN_MANIFEST journal. Lines are written whole under a lock,
+ * so parallel workers never interleave within a line.
+ */
+void
+emitManifestLine(const SystemConfig &cfg, const AppRun &run,
+                 std::uint64_t key, bool cached, double wall_seconds)
+{
+    static std::mutex manifest_mutex;
+    std::lock_guard<std::mutex> lock(manifest_mutex);
+
+    static std::FILE *file = []() -> std::FILE * {
+        const char *p = std::getenv("DESC_RUN_MANIFEST");
+        if (!p || !*p)
+            return nullptr;
+        std::FILE *f = std::fopen(p, "a");
+        if (!f)
+            warn(detail::concat("DESC_RUN_MANIFEST: cannot open \"", p,
+                                "\""));
+        return f;
+    }();
+    if (!file)
+        return;
+
+    char hash16[20];
+    std::snprintf(hash16, sizeof(hash16), "%016llx",
+                  (unsigned long long)key);
+    const std::string &ctx = threadLogContext();
+    std::fprintf(file,
+                 "{\"app\": \"%s\", \"scheme\": \"%s\", "
+                 "\"seed\": %llu, \"config_hash\": \"%s\", "
+                 "\"cached\": %s, \"wall_seconds\": %.6g, "
+                 "\"worker\": \"%s\", \"cycles\": %llu, "
+                 "\"instructions\": %llu, \"l2_uj\": %.6g, "
+                 "\"cpu_uj\": %.6g}\n",
+                 cfg.app.name,
+                 shortSchemeName(cfg.l2.scheme).c_str(),
+                 (unsigned long long)cfg.seed, hash16,
+                 cached ? "true" : "false", wall_seconds, ctx.c_str(),
+                 (unsigned long long)run.result.cycles,
+                 (unsigned long long)run.result.instructions,
+                 run.l2.total() * 1e6, run.processor.total() * 1e6);
+    std::fflush(file);
+}
+
 } // namespace
 
 std::uint64_t
@@ -498,10 +557,21 @@ std::string
 runSummaryLine()
 {
     RunStats s = runStats();
-    return detail::concat(
+    std::string line = detail::concat(
         "[runner] ", s.jobs.value(), " points: ", s.simulated.value(),
         " simulated, ", s.cache_hits.value(), " cached (avg sim ",
         s.sim_seconds.count() ? s.sim_seconds.mean() : 0.0, "s)");
+    if (s.queue_seconds.count())
+        line += detail::concat(", avg queue wait ",
+                               s.queue_seconds.mean(), "s");
+    return line;
+}
+
+void
+recordQueueWait(double seconds)
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    mutableStats().queue_seconds.sample(seconds);
 }
 
 AppRun
@@ -518,16 +588,29 @@ runAppCached(const SystemConfig &scaled_cfg)
         cache = globalRunCache();
     }
 
+    auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&start]() {
+        return std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start).count();
+    };
+
     if (auto cached = cache.load(key)) {
-        std::lock_guard<std::mutex> lock(stateMutex());
-        mutableStats().cache_hits.inc();
+        double seconds = elapsed();
+        {
+            std::lock_guard<std::mutex> lock(stateMutex());
+            mutableStats().cache_hits.inc();
+            mutableStats().load_seconds.sample(seconds);
+        }
+        DESC_TRACE_HOST(Runner, "cache hit: ", runTag(scaled_cfg, key));
+        recordRunStats(scaled_cfg, *cached, key);
+        emitManifestLine(scaled_cfg, *cached, key, true, seconds);
         return *cached;
     }
 
-    auto start = std::chrono::steady_clock::now();
+    DESC_TRACE_HOST(Runner, "cache miss: ", runTag(scaled_cfg, key),
+                    ", simulating");
     AppRun run = runScaledApp(scaled_cfg);
-    double seconds = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - start).count();
+    double seconds = elapsed();
 
     cache.store(key, run);
     {
@@ -538,6 +621,10 @@ runAppCached(const SystemConfig &scaled_cfg)
         if (cache.enabled())
             stats.cache_stores.inc();
     }
+    DESC_TRACE_HOST(Runner, "simulated ", runTag(scaled_cfg, key),
+                    " in ", seconds, "s");
+    recordRunStats(scaled_cfg, run, key);
+    emitManifestLine(scaled_cfg, run, key, false, seconds);
     return run;
 }
 

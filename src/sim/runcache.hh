@@ -15,7 +15,10 @@
  * Environment:
  *  - DESC_SIM_CACHE=0 disables the cache entirely;
  *  - DESC_SIM_CACHE_DIR overrides the location (default
- *    ".desc-runcache" under the current directory).
+ *    ".desc-runcache" under the current directory);
+ *  - DESC_RUN_MANIFEST=<path> appends one JSON line per executed run
+ *    (config hash, app, seed, wall time, cached flag, headline
+ *    stats) — a machine-readable profile of what a harness did.
  *
  * All entry points are thread-safe; the parallel Runner calls them
  * from every worker.
@@ -81,7 +84,12 @@ struct RunStats
     Counter cache_hits;   //!< points served from the run cache
     Counter cache_stores; //!< fresh points persisted to the cache
     Average sim_seconds;  //!< wall time per simulated point
+    Average load_seconds; //!< wall time per cache hit
+    Average queue_seconds; //!< submit-to-start wait per parallel job
 };
+
+/** Record one parallel job's submit-to-start wait (Runner workers). */
+void recordQueueWait(double seconds);
 
 /** Snapshot of the process-wide run accounting (thread-safe). */
 RunStats runStats();
@@ -92,7 +100,10 @@ std::string runSummaryLine();
 /**
  * Run one already-scaled configuration through the global cache:
  * load on hit, otherwise simulate, time, and store. This is the
- * single execution path shared by runApp() and the parallel Runner.
+ * single execution path shared by runApp() and the parallel Runner,
+ * which also makes it the choke point for run-level observability:
+ * every run (hit or miss) is offered to the DESC_STATS_OUT sidecar
+ * (sim/statdump.hh) and appended to the DESC_RUN_MANIFEST journal.
  */
 AppRun runAppCached(const SystemConfig &scaled_cfg);
 

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "sim/runcache.hh"
 
 namespace desc::sim {
@@ -33,7 +34,7 @@ Runner::Runner(unsigned jobs)
     unsigned n = jobs ? jobs : defaultJobs();
     _workers.reserve(n);
     for (unsigned i = 0; i < n; i++)
-        _workers.emplace_back([this] { workerLoop(); });
+        _workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 Runner::~Runner()
@@ -48,8 +49,12 @@ Runner::~Runner()
 }
 
 void
-Runner::workerLoop()
+Runner::workerLoop(unsigned worker_idx)
 {
+    // Diagnostics fired inside a job (warn, trace lines, manifest
+    // entries) carry this worker's tag.
+    setThreadLogContext(detail::concat("w", worker_idx));
+
     for (;;) {
         Job job;
         {
@@ -61,6 +66,8 @@ Runner::workerLoop()
             job = _queue.front();
             _queue.pop_front();
         }
+        recordQueueWait(std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - job.submitted).count());
         *job.out = runAppCached(*job.cfg);
         finishOne();
     }
@@ -110,9 +117,12 @@ Runner::run(const std::vector<SystemConfig> &cfgs)
         _batch_start_hits = runStats().cache_hits.value();
         _last_progress = std::chrono::steady_clock::now();
         for (std::size_t i = 0; i < scaled.size(); i++)
-            _queue.push_back(Job{&scaled[i], &results[i]});
+            _queue.push_back(Job{&scaled[i], &results[i],
+                                 std::chrono::steady_clock::now()});
     }
     _work_cv.notify_all();
+    DESC_TRACE_HOST(Runner, "batch submitted: ", scaled.size(),
+                    " point(s) across ", jobs(), " worker(s)");
 
     {
         std::unique_lock<std::mutex> lock(_mutex);
@@ -120,6 +130,7 @@ Runner::run(const std::vector<SystemConfig> &cfgs)
                       [this] { return _batch_done == _batch_total; });
         _running = false;
     }
+    DESC_TRACE_HOST(Runner, "batch complete: ", runSummaryLine());
     return results;
 }
 

@@ -58,9 +58,10 @@ class Runner
     {
         const SystemConfig *cfg;
         AppRun *out;
+        std::chrono::steady_clock::time_point submitted;
     };
 
-    void workerLoop();
+    void workerLoop(unsigned worker_idx);
     void finishOne();
 
     std::vector<std::thread> _workers;

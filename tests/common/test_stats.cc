@@ -147,6 +147,204 @@ TEST(Average, RestoreRoundTrips)
     EXPECT_EQ(b.count(), 2u);
 }
 
+TEST(Average, MergeEmptyIntoEmptyStaysEmpty)
+{
+    Average a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Average, MergeEmptyIntoNonemptyIsANoop)
+{
+    Average a, b;
+    a.sample(4.0);
+    a.sample(6.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 4.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+}
+
+TEST(Average, MergePreservesMinAcrossNegatives)
+{
+    Average a, b;
+    a.sample(-3.0);
+    b.sample(-7.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.min(), -7.0);
+    EXPECT_DOUBLE_EQ(a.max(), -3.0);
+}
+
+TEST(Histogram, MergeDefaultSourceIsANoop)
+{
+    Histogram a(4), empty;
+    a.sample(2);
+    a.merge(empty);
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_EQ(a.bin(2), 1u);
+}
+
+TEST(Histogram, MergeIntoDefaultCopies)
+{
+    Histogram a, b(4);
+    b.sample(1);
+    b.sample(9); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.numBins(), std::size_t{4});
+    EXPECT_EQ(a.bin(1), 1u);
+    EXPECT_EQ(a.total(), 2u);
+    EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(Histogram, MergeDefaultIntoDefaultStaysDefault)
+{
+    Histogram a, b;
+    a.merge(b);
+    EXPECT_EQ(a.numBins(), std::size_t{0});
+    EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(Histogram, MergeCarriesOverflow)
+{
+    Histogram a(4), b(4);
+    a.sample(100);
+    b.sample(200);
+    b.sample(1);
+    a.merge(b);
+    EXPECT_EQ(a.overflow(), 2u);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.inRange(), 1u);
+}
+
+TEST(HistogramDeath, MergeSizeMismatchAsserts)
+{
+    Histogram a(4), b(8);
+    a.sample(1);
+    b.sample(1);
+    EXPECT_DEATH(a.merge(b), "size mismatch");
+}
+
+TEST(Histogram, OverflowContract)
+{
+    // total() counts everything; fraction(i) is over all samples, so
+    // the bins sum to 1 - overflowFraction(); mean() covers only the
+    // in-range samples.
+    Histogram h(4);
+    h.sample(1, 2);
+    h.sample(3, 2);
+    h.sample(50, 4); // overflow: 4 of 8 samples
+    EXPECT_EQ(h.total(), 8u);
+    EXPECT_EQ(h.overflow(), 4u);
+    EXPECT_EQ(h.inRange(), 4u);
+    EXPECT_DOUBLE_EQ(h.overflowFraction(), 0.5);
+    double bin_sum = 0.0;
+    for (unsigned i = 0; i < h.numBins(); i++)
+        bin_sum += h.fraction(i);
+    EXPECT_DOUBLE_EQ(bin_sum, 1.0 - h.overflowFraction());
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0); // (1*2 + 3*2) / 4, overflow excluded
+}
+
+TEST(Histogram, AllOverflowMeanIsZero)
+{
+    Histogram h(2);
+    h.sample(10);
+    EXPECT_EQ(h.inRange(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.overflowFraction(), 1.0);
+}
+
+TEST(StatRegistry, AddAndLookupEveryKind)
+{
+    Counter c;
+    c.inc(5);
+    Average a;
+    a.sample(2.0);
+    Histogram h(4);
+    h.sample(3);
+
+    StatRegistry reg;
+    reg.add("l2.hits", c);
+    reg.add("l2.hit_latency", a);
+    reg.add("chunks.values", h);
+    reg.addScalar("perf.ipc", 1.5);
+    reg.addInt("perf.cycles", 1000);
+    reg.addText("run.app", "FFT");
+
+    EXPECT_EQ(reg.size(), std::size_t{6});
+    EXPECT_FALSE(reg.empty());
+    EXPECT_EQ(reg.counterValue("l2.hits"), 5u);
+    EXPECT_DOUBLE_EQ(reg.average("l2.hit_latency").mean(), 2.0);
+    EXPECT_EQ(reg.histogram("chunks.values").bin(3), 1u);
+    EXPECT_DOUBLE_EQ(reg.scalar("perf.ipc"), 1.5);
+    EXPECT_EQ(reg.integer("perf.cycles"), 1000u);
+    EXPECT_EQ(reg.text("run.app"), "FFT");
+    EXPECT_TRUE(reg.contains("l2.hits"));
+    EXPECT_FALSE(reg.contains("l2.misses"));
+}
+
+TEST(StatRegistry, LiveReferencesSeeLaterUpdates)
+{
+    Counter c;
+    StatRegistry reg;
+    reg.add("n", c);
+    c.inc(3);
+    EXPECT_EQ(reg.counterValue("n"), 3u);
+}
+
+TEST(StatRegistry, EntriesIterateInPathOrder)
+{
+    StatRegistry reg;
+    reg.addInt("b.y", 1);
+    reg.addInt("a", 2);
+    reg.addInt("b.x", 3);
+    std::vector<std::string> paths;
+    for (const auto &[path, entry] : reg.entries())
+        paths.push_back(path);
+    EXPECT_EQ(paths, (std::vector<std::string>{"a", "b.x", "b.y"}));
+}
+
+TEST(StatRegistryDeath, DuplicatePathAsserts)
+{
+    StatRegistry reg;
+    reg.addInt("a.b", 1);
+    EXPECT_DEATH(reg.addInt("a.b", 2), "duplicate stat path");
+}
+
+TEST(StatRegistryDeath, LeafCannotBecomeInterior)
+{
+    StatRegistry reg;
+    reg.addInt("l2", 1);
+    EXPECT_DEATH(reg.addInt("l2.hits", 2), "conflicts");
+}
+
+TEST(StatRegistryDeath, InteriorCannotBecomeLeaf)
+{
+    StatRegistry reg;
+    reg.addInt("l2.hits", 1);
+    EXPECT_DEATH(reg.addInt("l2", 2), "conflicts");
+}
+
+TEST(StatRegistryDeath, MalformedPathsAssert)
+{
+    StatRegistry reg;
+    EXPECT_DEATH(reg.addInt("", 1), "empty stat path");
+    EXPECT_DEATH(reg.addInt(".a", 1), "malformed");
+    EXPECT_DEATH(reg.addInt("a.", 1), "malformed");
+    EXPECT_DEATH(reg.addInt("a..b", 1), "malformed");
+}
+
+TEST(StatRegistryDeath, KindMismatchAsserts)
+{
+    StatRegistry reg;
+    reg.addInt("perf.cycles", 7);
+    EXPECT_DEATH(reg.scalar("perf.cycles"), "is a int, not a scalar");
+    EXPECT_DEATH(reg.counterValue("missing"), "unknown stat path");
+}
+
 TEST(Histogram, RestoreRoundTrips)
 {
     Histogram h(4);

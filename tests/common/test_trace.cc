@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the categorized trace channels: spec parsing, the
+ * enable mask, line formatting, and lazy argument evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/trace.hh"
+
+using namespace desc;
+using namespace desc::trace;
+
+namespace {
+
+/** Saves the channel mask/stream/context and restores them on exit,
+ *  so tests cannot leak trace state into each other. */
+struct TraceStateGuard
+{
+    std::uint32_t saved_mask = mask();
+
+    ~TraceStateGuard()
+    {
+        setMask(saved_mask);
+        setStream(nullptr);
+        setThreadLogContext("");
+    }
+};
+
+/** Capture everything emitted while @p body runs. */
+template <typename Fn>
+std::string
+captureTrace(Fn &&body)
+{
+    std::FILE *f = std::tmpfile();
+    EXPECT_NE(f, nullptr);
+    setStream(f);
+    body();
+    setStream(nullptr);
+
+    std::fflush(f);
+    std::rewind(f);
+    std::string out;
+    char buf[256];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+} // namespace
+
+TEST(TraceSpec, EmptyAndNullSelectNothing)
+{
+    EXPECT_EQ(parseSpec(nullptr), 0u);
+    EXPECT_EQ(parseSpec(""), 0u);
+}
+
+TEST(TraceSpec, SingleChannels)
+{
+    EXPECT_EQ(parseSpec("link"), 1u << unsigned(Channel::Link));
+    EXPECT_EQ(parseSpec("cache"), 1u << unsigned(Channel::Cache));
+    EXPECT_EQ(parseSpec("dram"), 1u << unsigned(Channel::Dram));
+    EXPECT_EQ(parseSpec("runner"), 1u << unsigned(Channel::Runner));
+}
+
+TEST(TraceSpec, CommaSeparatedList)
+{
+    auto m = parseSpec("link,dram");
+    EXPECT_EQ(m, (1u << unsigned(Channel::Link))
+                     | (1u << unsigned(Channel::Dram)));
+}
+
+TEST(TraceSpec, AllSelectsEveryChannel)
+{
+    EXPECT_EQ(parseSpec("all"), (1u << kNumChannels) - 1);
+}
+
+TEST(TraceSpec, UnknownNamesAreIgnored)
+{
+    EXPECT_EQ(parseSpec("link,nonsense-xyz"),
+              1u << unsigned(Channel::Link));
+    EXPECT_EQ(parseSpec(",,link,"), 1u << unsigned(Channel::Link));
+}
+
+TEST(TraceMask, SetAndQuery)
+{
+    TraceStateGuard guard;
+    setMask(parseSpec("cache"));
+    EXPECT_TRUE(enabled(Channel::Cache));
+    EXPECT_FALSE(enabled(Channel::Link));
+    EXPECT_FALSE(enabled(Channel::Dram));
+}
+
+TEST(TraceChannelName, MatchesSpecNames)
+{
+    EXPECT_STREQ(channelName(Channel::Link), "link");
+    EXPECT_STREQ(channelName(Channel::Cache), "cache");
+    EXPECT_STREQ(channelName(Channel::Dram), "dram");
+    EXPECT_STREQ(channelName(Channel::Runner), "runner");
+}
+
+TEST(TraceEmit, CycleStampedLineFormat)
+{
+    TraceStateGuard guard;
+    setMask(parseSpec("link"));
+    std::string out = captureTrace([] {
+        DESC_TRACE_EVENT(Link, 42, "wave ", 3, " open");
+    });
+    EXPECT_NE(out.find("42: link: wave 3 open\n"), std::string::npos);
+}
+
+TEST(TraceEmit, HostLineUsesDashForCycle)
+{
+    TraceStateGuard guard;
+    setMask(parseSpec("runner"));
+    std::string out = captureTrace([] {
+        DESC_TRACE_HOST(Runner, "batch done");
+    });
+    EXPECT_NE(out.find("-: runner: batch done\n"), std::string::npos);
+}
+
+TEST(TraceEmit, ThreadContextTagIsIncluded)
+{
+    TraceStateGuard guard;
+    setMask(parseSpec("runner"));
+    setThreadLogContext("w3");
+    std::string out = captureTrace([] {
+        DESC_TRACE_HOST(Runner, "hello");
+    });
+    EXPECT_NE(out.find("runner: [w3] hello"), std::string::npos);
+}
+
+TEST(TraceEmit, DisabledChannelEmitsNothing)
+{
+    TraceStateGuard guard;
+    setMask(0);
+    std::string out = captureTrace([] {
+        DESC_TRACE_EVENT(Link, 1, "should not appear");
+    });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(TraceEmit, DisabledChannelDoesNotEvaluateArguments)
+{
+    TraceStateGuard guard;
+    setMask(0);
+    int evaluations = 0;
+    auto expensive = [&evaluations]() {
+        evaluations++;
+        return 7;
+    };
+    DESC_TRACE_EVENT(Link, 1, "value ", expensive());
+    EXPECT_EQ(evaluations, 0);
+
+    setMask(parseSpec("link"));
+    captureTrace([&] { DESC_TRACE_EVENT(Link, 1, "value ", expensive()); });
+    EXPECT_EQ(evaluations, 1);
+}
