@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Simulation-kernel microbenchmarks: event-queue throughput, link and
+ * scheme block rates, and end-to-end simulated-cycle rate. Writes
+ * BENCH_kernel.json (see README); the committed copy of that file is
+ * the CI regression baseline.
+ *
+ * The runsystem check value doubles as a determinism probe: the cycle
+ * count of the fixed workload must not depend on wall-clock timing.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/chunk.hh"
+#include "core/descscheme.hh"
+#include "core/link.hh"
+#include "sim/eventq.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+using namespace desc;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/**
+ * A recurring component event, the steady-state pattern of the ported
+ * models: the same object reschedules itself with a small
+ * data-dependent period. No allocation ever happens in this loop.
+ */
+struct CompEvent final : sim::Event
+{
+    void
+    process() override
+    {
+        payload_a += id;
+        payload_b ^= payload_a;
+        if (*stop)
+            return;
+        eq->scheduleIn(*this, 1 + (id & 3));
+    }
+
+    sim::EventQueue *eq = nullptr;
+    unsigned id = 0;
+    std::uint64_t payload_a = 0;
+    std::uint64_t payload_b = 0;
+    bool *stop = nullptr;
+};
+
+double
+benchEventQueue(std::uint64_t target_events)
+{
+    sim::EventQueue eq;
+    bool stop = false;
+    std::vector<CompEvent> comps(64);
+    for (unsigned i = 0; i < 64; i++) {
+        comps[i].eq = &eq;
+        comps[i].id = i;
+        comps[i].stop = &stop;
+        eq.schedule(comps[i], 1 + (i & 3));
+    }
+
+    auto t0 = Clock::now();
+    std::uint64_t executed = 0;
+    while (executed < target_events)
+        executed += eq.run(eq.now() + 4096);
+    double dt = secondsSince(t0);
+    stop = true;
+    eq.run();
+    return double(executed) / dt;
+}
+
+std::vector<BitVec>
+makeBlocks(unsigned chunk_bits)
+{
+    // Mix of uniform-random, zero-rich, and repeating blocks, like
+    // real cache traffic.
+    Rng rng(42);
+    std::vector<BitVec> blocks;
+    for (unsigned i = 0; i < 64; i++) {
+        BitVec b(kBlockBits);
+        b.randomize(rng);
+        if (i % 4 == 1) {
+            for (unsigned pos = 0; pos + chunk_bits <= kBlockBits;
+                 pos += 2 * chunk_bits)
+                b.setField(pos, chunk_bits, 0);
+        } else if (i % 4 == 3 && i > 0) {
+            b = blocks[i - 1];
+            b.flipBit(i % kBlockBits);
+        }
+        blocks.push_back(b);
+    }
+    return blocks;
+}
+
+core::DescConfig
+linkConfig()
+{
+    core::DescConfig cfg;
+    cfg.bus_wires = 128;
+    cfg.chunk_bits = 4;
+    cfg.skip = core::SkipMode::Zero;
+    return cfg;
+}
+
+double
+benchLink(std::uint64_t blocks_n)
+{
+    core::DescLink link(linkConfig());
+    auto blocks = makeBlocks(4);
+    std::uint64_t sink = 0;
+    auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < blocks_n; i++)
+        sink += link.transferBlock(blocks[i & 63]).cycles;
+    double dt = secondsSince(t0);
+    if (sink == 0)
+        std::fprintf(stderr, "impossible\n");
+    return double(blocks_n) / dt;
+}
+
+double
+benchScheme(std::uint64_t blocks_n)
+{
+    core::DescScheme scheme(linkConfig());
+    auto blocks = makeBlocks(4);
+    std::uint64_t sink = 0;
+    auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < blocks_n; i++)
+        sink += scheme.transfer(blocks[i & 63]).cycles;
+    double dt = secondsSince(t0);
+    if (sink == 0)
+        std::fprintf(stderr, "impossible\n");
+    return double(blocks_n) / dt;
+}
+
+double
+benchChunkStats(std::uint64_t blocks_n)
+{
+    core::ChunkStats stats(4, 128);
+    auto blocks = makeBlocks(4);
+    auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < blocks_n; i++)
+        stats.observe(blocks[i & 63]);
+    double dt = secondsSince(t0);
+    if (stats.totalChunks() == 0)
+        std::fprintf(stderr, "impossible\n");
+    return double(blocks_n) / dt;
+}
+
+double
+benchRunSystem(std::uint64_t insts, unsigned reps, std::uint64_t *cycles)
+{
+    auto cfg = sim::baselineConfig(workloads::parallelApps()[0]);
+    cfg.insts_per_thread = insts;
+    sim::applyScheme(cfg, encoding::SchemeKind::DescZeroSkip);
+
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; r++) {
+        auto t0 = Clock::now();
+        auto result = sim::runSystem(cfg);
+        double rate = double(result.cycles) / secondsSince(t0);
+        *cycles = result.cycles;
+        if (rate > best)
+            best = rate;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_kernel.json";
+    for (int i = 1; i + 1 < argc; i++) {
+        if (std::strcmp(argv[i], "--out") == 0)
+            out = argv[i + 1];
+    }
+    bool quick = std::getenv("DESC_BENCH_QUICK") != nullptr;
+
+    std::uint64_t ev_n = quick ? 200'000 : 2'000'000;
+    std::uint64_t link_n = quick ? 2'000 : 20'000;
+    std::uint64_t scheme_n = quick ? 20'000 : 200'000;
+    std::uint64_t stats_n = quick ? 20'000 : 200'000;
+    std::uint64_t insts = quick ? 1'000 : 3'000;
+    unsigned reps = quick ? 1 : 2;
+
+    double ev = benchEventQueue(ev_n);
+    std::fprintf(stderr, "eventq:    %12.0f events/sec\n", ev);
+    double link = benchLink(link_n);
+    std::fprintf(stderr, "link:      %12.0f blocks/sec\n", link);
+    double scheme = benchScheme(scheme_n);
+    std::fprintf(stderr, "scheme:    %12.0f blocks/sec\n", scheme);
+    double cstats = benchChunkStats(stats_n);
+    std::fprintf(stderr, "chunkstats:%12.0f blocks/sec\n", cstats);
+    std::uint64_t cycles = 0;
+    double rs = benchRunSystem(insts, reps, &cycles);
+    std::fprintf(stderr, "runsystem: %12.0f sim-cycles/sec (%llu cycles)\n",
+                 rs, (unsigned long long)cycles);
+
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+        "{\n"
+        "  \"format\": \"desc-bench-kernel\",\n"
+        "  \"version\": 1,\n"
+        "  \"quick\": %s,\n"
+        "  \"metrics\": {\n"
+        "    \"eventq_events_per_sec\": %.0f,\n"
+        "    \"link_blocks_per_sec\": %.0f,\n"
+        "    \"scheme_blocks_per_sec\": %.0f,\n"
+        "    \"chunkstats_blocks_per_sec\": %.0f,\n"
+        "    \"runsystem_cycles_per_sec\": %.0f\n"
+        "  },\n"
+        "  \"check\": { \"runsystem_cycles\": %llu }\n"
+        "}\n",
+        quick ? "true" : "false", ev, link, scheme, cstats, rs,
+        (unsigned long long)cycles);
+    std::fclose(f);
+    return 0;
+}

@@ -102,7 +102,7 @@ MemHierarchy::transfer(unsigned bank_idx, const Block512 &data,
     toBitVec(data, _scratch_raw);
     const BitVec *word = &_scratch_raw;
     if (_codec) {
-        _scratch = _codec->encode(_scratch_raw);
+        _codec->encodeInto(_scratch_raw, _scratch);
         word = &_scratch;
     }
     if (_cfg.collect_chunk_stats)
@@ -252,41 +252,102 @@ MemHierarchy::fillL1(const MshrEntry::Waiter &w, Addr addr,
     }
 }
 
+MemHierarchy::AccessEvent &
+MemHierarchy::acquireAccess()
+{
+    if (_access_free.empty()) {
+        _access_events.emplace_back();
+        _access_events.back().mh = this;
+        return _access_events.back();
+    }
+    AccessEvent *ev = _access_free.back();
+    _access_free.pop_back();
+    return *ev;
+}
+
+MemHierarchy::ResponseEvent &
+MemHierarchy::acquireResponse()
+{
+    if (_response_free.empty()) {
+        _response_events.emplace_back();
+        _response_events.back().mh = this;
+        return _response_events.back();
+    }
+    ResponseEvent *ev = _response_free.back();
+    _response_free.pop_back();
+    return *ev;
+}
+
+void
+MemHierarchy::accessEvent(AccessEvent &ev)
+{
+    const Addr ba = ev.ba;
+    const Cycle t0 = ev.t0;
+    MshrEntry::Waiter w = std::move(ev.w);
+    ev.w.done = nullptr;
+    _access_free.push_back(&ev);
+    l2Request(ba, t0, std::move(w));
+}
+
+void
+MemHierarchy::tagProbe(TagProbeEvent &ev)
+{
+    const Addr addr = ev.addr;
+    _tag_free.push_back(&ev);
+    _dram.access(addr, false, [this, addr]() { finishMiss(addr); });
+}
+
+void
+MemHierarchy::respond(ResponseEvent &ev)
+{
+    if (ev.sample_hit)
+        _stats.hit_latency.sample(double(_eq.now() - ev.t0));
+    auto *line = _l2.lookup(ev.addr);
+    for (auto &w : ev.waiters) {
+        if (line) {
+            fillL1(w, ev.addr, *line);
+            _l2.touch(*line);
+        }
+        if (w.is_store) {
+            auto *ln = _l1d[w.core].lookup(w.req_addr);
+            if (ln) {
+                ln->meta.state = MesiState::Modified;
+                ln->meta.data[unsigned((w.req_addr >> 3) & 7)] =
+                    w.store_value;
+            }
+        }
+        if (w.done)
+            w.done();
+    }
+    ev.waiters.clear(); // destroys the DoneFns, keeps the capacity
+    _response_free.push_back(&ev);
+}
+
 void
 MemHierarchy::serveHit(L2Array::Line &line, unsigned bank, Addr addr,
-                       Cycle earliest, Cycle t0,
-                       std::vector<MshrEntry::Waiter> waiters)
+                       Cycle earliest, Cycle t0, ResponseEvent &ev)
 {
     Cycle complete = transfer(bank, line.meta.data, false, earliest);
     Cycle flight_back =
         _cfg.snuca ? _banks[bank].route_latency : _flight;
     Cycle resp = complete + flight_back;
 
-    _eq.schedule(resp, [this, addr, t0,
-                        waiters = std::move(waiters)]() {
-        _stats.hit_latency.sample(double(_eq.now() - t0));
-        auto *line = _l2.lookup(addr);
-        for (const auto &w : waiters) {
-            if (line) {
-                fillL1(w, addr, *line);
-                _l2.touch(*line);
-            }
-            if (w.done)
-                w.done();
-        }
-    });
+    ev.addr = addr;
+    ev.t0 = t0;
+    ev.sample_hit = true;
+    _eq.schedule(ev, resp);
 }
 
 void
-MemHierarchy::l2Request(unsigned core, Addr addr, bool exclusive,
-                        bool ifetch, Cycle t0, DoneFn done)
+MemHierarchy::l2Request(Addr addr, Cycle t0, MshrEntry::Waiter w)
 {
     _stats.l2_requests.inc();
+    const unsigned core = w.core;
+    const bool exclusive = w.exclusive;
 
     auto mshr = _mshrs.find(addr);
     if (mshr != _mshrs.end()) {
-        mshr->second.waiters.push_back(
-            MshrEntry::Waiter{core, exclusive, ifetch, std::move(done)});
+        mshr->second.waiters.push_back(std::move(w));
         mshr->second.exclusive_needed |= exclusive;
         return;
     }
@@ -296,7 +357,7 @@ MemHierarchy::l2Request(unsigned core, Addr addr, bool exclusive,
         _stats.l2_hits.inc();
         DESC_TRACE_EVENT(Cache, _eq.now(), "L2 hit: core ", core,
                          exclusive ? " excl" : " shared",
-                         ifetch ? " ifetch" : "", " addr 0x",
+                         w.ifetch ? " ifetch" : "", " addr 0x",
                          std::hex, addr, std::dec);
         unsigned bank = bankOf(addr);
         Cycle flight_out =
@@ -313,43 +374,46 @@ MemHierarchy::l2Request(unsigned core, Addr addr, bool exclusive,
                 ready += _cfg.recall_latency;
         }
 
-        std::vector<MshrEntry::Waiter> waiters;
-        waiters.push_back(
-            MshrEntry::Waiter{core, exclusive, ifetch, std::move(done)});
-        serveHit(*line, bank, addr, ready, t0, std::move(waiters));
+        ResponseEvent &ev = acquireResponse();
+        ev.waiters.push_back(std::move(w));
+        serveHit(*line, bank, addr, ready, t0, ev);
         return;
     }
 
-    startMiss(core, addr, exclusive, ifetch, t0, std::move(done));
+    startMiss(addr, t0, std::move(w));
 }
 
 void
-MemHierarchy::startMiss(unsigned core, Addr addr, bool exclusive,
-                        bool ifetch, Cycle t0, DoneFn done)
+MemHierarchy::startMiss(Addr addr, Cycle t0, MshrEntry::Waiter w)
 {
     _stats.l2_misses.inc();
-    DESC_TRACE_EVENT(Cache, _eq.now(), "L2 miss: core ", core,
-                     exclusive ? " excl" : " shared",
-                     ifetch ? " ifetch" : "", " addr 0x", std::hex,
+    DESC_TRACE_EVENT(Cache, _eq.now(), "L2 miss: core ", w.core,
+                     w.exclusive ? " excl" : " shared",
+                     w.ifetch ? " ifetch" : "", " addr 0x", std::hex,
                      addr, std::dec, ", to DRAM");
     MshrEntry entry;
-    entry.waiters.push_back(
-        MshrEntry::Waiter{core, exclusive, ifetch, std::move(done)});
-    entry.exclusive_needed = exclusive;
+    entry.exclusive_needed = w.exclusive;
+    entry.waiters.push_back(std::move(w));
     _mshrs.emplace(addr, std::move(entry));
 
     // Tag probe detects the miss, then the request goes to memory.
     Cycle tag_done = t0 + _cfg.ctrl_latency + _flight + 2;
-    _eq.schedule(tag_done, [this, addr, t0]() {
-        _dram.access(addr, false,
-                     [this, addr, t0]() { finishMiss(addr, t0); });
-    });
+    TagProbeEvent *tev;
+    if (_tag_free.empty()) {
+        _tag_events.emplace_back();
+        _tag_events.back().mh = this;
+        tev = &_tag_events.back();
+    } else {
+        tev = _tag_free.back();
+        _tag_free.pop_back();
+    }
+    tev->addr = addr;
+    _eq.schedule(*tev, tag_done);
 }
 
 void
-MemHierarchy::finishMiss(Addr addr, Cycle t0)
+MemHierarchy::finishMiss(Addr addr)
 {
-    (void)t0;
     const Block512 &mem = _backing.fetch(addr);
 
     // Prefer victims without live L1 copies: evicting an L1-resident
@@ -387,20 +451,16 @@ MemHierarchy::finishMiss(Addr addr, Cycle t0)
     Cycle resp = _eq.now() + _cfg.ctrl_latency;
     auto it = _mshrs.find(addr);
     DESC_ASSERT(it != _mshrs.end(), "miss completion without MSHR");
-    auto waiters = std::move(it->second.waiters);
+
+    ResponseEvent &ev = acquireResponse();
+    for (auto &w : it->second.waiters)
+        ev.waiters.push_back(std::move(w));
     _mshrs.erase(it);
 
-    _eq.schedule(resp, [this, addr, waiters = std::move(waiters)]() {
-        auto *line = _l2.lookup(addr);
-        for (const auto &w : waiters) {
-            if (line) {
-                fillL1(w, addr, *line);
-                _l2.touch(*line);
-            }
-            if (w.done)
-                w.done();
-        }
-    });
+    ev.addr = addr;
+    ev.t0 = 0;
+    ev.sample_hit = false;
+    _eq.schedule(ev, resp);
 }
 
 void
@@ -468,23 +528,17 @@ MemHierarchy::access(unsigned core, Addr addr, bool is_write,
 
     Addr ba = blockAddr(addr);
     Cycle t0 = _eq.now() + 2; // L1 probe detects the miss
-    auto apply = [this, core, addr, is_write, store_value, ifetch, word,
-                  done = std::move(done)]() {
-        if (is_write) {
-            auto *ln = _l1d[core].lookup(addr);
-            if (ln) {
-                ln->meta.state = MesiState::Modified;
-                ln->meta.data[word] = store_value;
-            }
-        }
-        (void)ifetch;
-        if (done)
-            done();
-    };
-    _eq.schedule(t0, [this, core, ba, is_write, ifetch, t0,
-                      apply = std::move(apply)]() mutable {
-        l2Request(core, ba, is_write, ifetch, t0, std::move(apply));
-    });
+    AccessEvent &ev = acquireAccess();
+    ev.ba = ba;
+    ev.t0 = t0;
+    ev.w.core = core;
+    ev.w.exclusive = is_write;
+    ev.w.ifetch = ifetch;
+    ev.w.is_store = is_write;
+    ev.w.req_addr = addr;
+    ev.w.store_value = store_value;
+    ev.w.done = std::move(done);
+    _eq.schedule(ev, t0);
     return std::nullopt;
 }
 

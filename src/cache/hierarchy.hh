@@ -15,6 +15,7 @@
 #ifndef DESC_CACHE_HIERARCHY_HH
 #define DESC_CACHE_HIERARCHY_HH
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -185,15 +186,56 @@ class MemHierarchy
 
     struct MshrEntry
     {
+        /**
+         * One core access waiting on an L2 response. Carries the
+         * store payload so the response path can apply the write
+         * after filling the L1 — no per-request closure needed.
+         */
         struct Waiter
         {
-            unsigned core;
-            bool exclusive;
-            bool ifetch;
+            unsigned core = 0;
+            bool exclusive = false;
+            bool ifetch = false;
+            bool is_store = false;
+            Addr req_addr = 0;
+            std::uint64_t store_value = 0;
             DoneFn done;
         };
         std::vector<Waiter> waiters;
         bool exclusive_needed = false;
+    };
+
+    /** L1-miss probe done; forward the request to the L2. */
+    struct AccessEvent final : sim::Event
+    {
+        void process() override { mh->accessEvent(*this); }
+        MemHierarchy *mh = nullptr;
+        Addr ba = 0;
+        Cycle t0 = 0;
+        MshrEntry::Waiter w{};
+    };
+
+    /** L2 tag probe confirmed a miss; issue the DRAM read. */
+    struct TagProbeEvent final : sim::Event
+    {
+        void process() override { mh->tagProbe(*this); }
+        MemHierarchy *mh = nullptr;
+        Addr addr = 0;
+    };
+
+    /**
+     * Data response reaching the cores: fill L1s, apply the store,
+     * run the completions. The waiters vector's capacity is reused
+     * across acquisitions.
+     */
+    struct ResponseEvent final : sim::Event
+    {
+        void process() override { mh->respond(*this); }
+        MemHierarchy *mh = nullptr;
+        Addr addr = 0;
+        Cycle t0 = 0;
+        bool sample_hit = false;
+        std::vector<MshrEntry::Waiter> waiters;
     };
 
     unsigned bankOf(Addr addr) const;
@@ -206,14 +248,17 @@ class MemHierarchy
     Cycle transfer(unsigned bank, const Block512 &data, bool write_dir,
                    Cycle earliest);
 
-    void l2Request(unsigned core, Addr addr, bool exclusive, bool ifetch,
-                   Cycle t0, DoneFn done);
+    void accessEvent(AccessEvent &ev);
+    void tagProbe(TagProbeEvent &ev);
+    void respond(ResponseEvent &ev);
+    AccessEvent &acquireAccess();
+    ResponseEvent &acquireResponse();
+
+    void l2Request(Addr addr, Cycle t0, MshrEntry::Waiter w);
     void serveHit(L2Array::Line &line, unsigned bank, Addr addr,
-                  Cycle earliest, Cycle t0,
-                  std::vector<MshrEntry::Waiter> waiters);
-    void startMiss(unsigned core, Addr addr, bool exclusive, bool ifetch,
-                   Cycle t0, DoneFn done);
-    void finishMiss(Addr addr, Cycle t0);
+                  Cycle earliest, Cycle t0, ResponseEvent &ev);
+    void startMiss(Addr addr, Cycle t0, MshrEntry::Waiter w);
+    void finishMiss(Addr addr);
 
     /** Flush/downgrade coherence copies; returns true if a recall
      *  transfer was needed (owner had a Modified copy). */
@@ -238,6 +283,13 @@ class MemHierarchy
     L2Array _l2;
     std::vector<Bank> _banks;
     std::unordered_map<Addr, MshrEntry> _mshrs;
+
+    std::deque<AccessEvent> _access_events; //!< pinned storage
+    std::vector<AccessEvent *> _access_free;
+    std::deque<TagProbeEvent> _tag_events;
+    std::vector<TagProbeEvent *> _tag_free;
+    std::deque<ResponseEvent> _response_events;
+    std::vector<ResponseEvent *> _response_free;
 
     std::unique_ptr<ecc::BlockCodec> _codec;
     BitVec _scratch;     //!< reusable transfer word

@@ -92,11 +92,90 @@ class BitVec
     /** Raw word access for fast paths (words beyond width are zero). */
     const std::vector<std::uint64_t> &words() const { return _words; }
 
+    /**
+     * Mutable raw word access for fast paths. The caller must keep
+     * the invariant that bits beyond width() stay zero and must not
+     * resize the vector.
+     */
+    std::vector<std::uint64_t> &mutableWords() { return _words; }
+
+    /**
+     * field() without the bounds assertion, for hot loops whose
+     * caller established pos + len <= width() once up front.
+     * @pre 1 <= len <= 64 and pos + len <= width()
+     */
+    std::uint64_t
+    fieldUnchecked(unsigned pos, unsigned len) const
+    {
+        const unsigned word = pos >> 6;
+        const unsigned off = pos & 63;
+        std::uint64_t value = _words[word] >> off;
+        if (off + len > 64)
+            value |= _words[word + 1] << (64 - off);
+        return len < 64 ? value & ((std::uint64_t{1} << len) - 1) : value;
+    }
+
+    /**
+     * setField() without the bounds assertion.
+     * @pre 1 <= len <= 64 and pos + len <= width()
+     */
+    void
+    setFieldUnchecked(unsigned pos, unsigned len, std::uint64_t value)
+    {
+        if (len < 64)
+            value &= (std::uint64_t{1} << len) - 1;
+        const unsigned word = pos >> 6;
+        const unsigned off = pos & 63;
+        const std::uint64_t lo_mask =
+            (len < 64 ? ((std::uint64_t{1} << len) - 1) : ~std::uint64_t{0})
+            << off;
+        _words[word] = (_words[word] & ~lo_mask) | (value << off);
+        if (off + len > 64) {
+            const unsigned hi_len = off + len - 64;
+            const std::uint64_t hi_mask = (std::uint64_t{1} << hi_len) - 1;
+            _words[word + 1] = (_words[word + 1] & ~hi_mask)
+                | (value >> (64 - off));
+        }
+    }
+
   private:
     void maskTail();
 
     unsigned _width;
     std::vector<std::uint64_t> _words;
+};
+
+/**
+ * Sequential field reader over a BitVec's packed words. Walks the
+ * vector front to back without per-read bounds checks or index
+ * arithmetic from bit zero — the idiom for chunk iteration on hot
+ * paths. The caller must not read past the vector's width, and the
+ * source BitVec must outlive (and not reallocate under) the cursor.
+ */
+class BitCursor
+{
+  public:
+    explicit BitCursor(const BitVec &v) : _words(v.words().data()) {}
+
+    /** Read the next @p len bits (1..64) and advance. */
+    std::uint64_t
+    next(unsigned len)
+    {
+        const unsigned w = _pos >> 6;
+        const unsigned off = _pos & 63;
+        std::uint64_t value = _words[w] >> off;
+        if (off + len > 64)
+            value |= _words[w + 1] << (64 - off);
+        _pos += len;
+        return len < 64 ? value & ((std::uint64_t{1} << len) - 1) : value;
+    }
+
+    /** Bit position of the next read. */
+    unsigned pos() const { return _pos; }
+
+  private:
+    const std::uint64_t *_words;
+    unsigned _pos = 0;
 };
 
 /** A 512-bit cache block payload. */

@@ -13,8 +13,9 @@ splitChunks(const BitVec &block, unsigned chunk_bits)
                 "block width not divisible by chunk size");
     unsigned n = block.width() / chunk_bits;
     std::vector<std::uint8_t> chunks(n);
+    BitCursor cur(block);
     for (unsigned i = 0; i < n; i++)
-        chunks[i] = std::uint8_t(block.field(i * chunk_bits, chunk_bits));
+        chunks[i] = std::uint8_t(cur.next(chunk_bits));
     return chunks;
 }
 
@@ -39,17 +40,23 @@ ChunkStats::ChunkStats(unsigned chunk_bits, unsigned wires)
 void
 ChunkStats::observe(const BitVec &block)
 {
-    auto chunks = splitChunks(block, _chunk_bits);
-    for (unsigned i = 0; i < chunks.size(); i++) {
-        _hist.sample(chunks[i]);
-        unsigned w = chunkWire(i, _wires);
+    DESC_ASSERT(block.width() % _chunk_bits == 0,
+                "block width not divisible by chunk size");
+    const unsigned n = block.width() / _chunk_bits;
+    BitCursor cur(block);
+    unsigned w = 0;
+    for (unsigned i = 0; i < n; i++) {
+        const auto chunk = std::uint8_t(cur.next(_chunk_bits));
+        _hist.sample(chunk);
         if (_last_valid[w]) {
             _match_candidates++;
-            if (_last[w] == chunks[i])
+            if (_last[w] == chunk)
                 _matches++;
         }
-        _last[w] = chunks[i];
+        _last[w] = chunk;
         _last_valid[w] = true;
+        if (++w == _wires)
+            w = 0;
     }
 }
 

@@ -41,17 +41,21 @@ DescScheme::transfer(const BitVec &block)
     if (_cfg.skip == SkipMode::None) {
         // One reset pulse, then every wire streams its queue back to
         // back; the block completes when the slowest wire finishes.
-        Cycle window = 0;
-        for (unsigned w = 0; w < wires; w++) {
-            Cycle t = 0;
-            for (unsigned g = 0; g < waves; g++) {
-                std::uint64_t v =
-                    block.field((g * wires + w) * chunk_bits, chunk_bits);
-                t += chunkCycles(v, false, 0);
+        // Walked wave-major so the chunks read sequentially; per-wire
+        // time accumulates in a reused scratch vector.
+        _wire_time.assign(wires, 0);
+        BitCursor cur(block);
+        for (unsigned g = 0; g < waves; g++) {
+            for (unsigned w = 0; w < wires; w++) {
+                std::uint64_t v = cur.next(chunk_bits);
+                _wire_time[w] += chunkCycles(v, false, 0);
                 _last[w] = std::uint8_t(v);
             }
-            if (t > window)
-                window = t;
+        }
+        Cycle window = 0;
+        for (unsigned w = 0; w < wires; w++) {
+            if (_wire_time[w] > window)
+                window = _wire_time[w];
         }
         result.cycles = 1 + window;
         result.data_flips = _cfg.numChunks();
@@ -62,14 +66,15 @@ DescScheme::transfer(const BitVec &block)
 
     // Value-skipped protocol: one chunk per wire per wave; the pulse
     // closing a wave is merged with the next wave's opening pulse.
+    // The (wave, wire) order reads the block's chunks sequentially.
+    BitCursor cur(block);
     Cycle cycles = 1; // opening pulse of wave 0
     std::uint64_t reset_flips = 1;
     for (unsigned g = 0; g < waves; g++) {
         unsigned window = 0;
         bool any_skipped = false;
         for (unsigned w = 0; w < wires; w++) {
-            std::uint64_t v =
-                block.field((g * wires + w) * chunk_bits, chunk_bits);
+            std::uint64_t v = cur.next(chunk_bits);
             std::uint64_t s = _cfg.skip == SkipMode::Zero
                 ? 0
                 : (_cfg.skip == SkipMode::Adaptive

@@ -38,6 +38,7 @@ class DescScheme : public encoding::TransferScheme
     DescConfig _cfg;
     std::vector<std::uint8_t> _last;
     AdaptiveTracker _adaptive;
+    std::vector<Cycle> _wire_time; //!< reused basic-mode scratch
 };
 
 } // namespace desc::core

@@ -5,7 +5,8 @@
 namespace desc::core {
 
 DescLink::DescLink(const DescConfig &cfg)
-    : _cfg(cfg), _tx(cfg), _rx(cfg), _prev(cfg.activeWires())
+    : _cfg(cfg), _tx(cfg), _rx(cfg), _cur(cfg.activeWires()),
+      _prev(cfg.activeWires())
 {
 }
 
@@ -15,29 +16,34 @@ DescLink::transferBlock(const BitVec &block, BitVec *received)
     encoding::TransferResult result;
     _tx.loadBlock(block);
 
+    const unsigned wires = _cfg.activeWires();
     const Cycle guard = 64 + 2ull * _cfg.numChunks()
         * (std::uint64_t{1} << _cfg.chunk_bits);
 
     while (_tx.busy()) {
         _tx.tick();
-        WireBundle bundle = _tx.wires();
+        _cur = _tx.wires(); // copy-assign reuses _cur's storage
         if (_fault)
-            _fault(_cycle, bundle);
+            _fault(_cycle, _cur);
         if (_observer)
-            _observer(_cycle, bundle);
+            _observer(_cycle, _cur);
 
         // Count transitions against the previous cycle's levels.
-        for (unsigned w = 0; w < _cfg.activeWires(); w++) {
-            if (bundle.data[w] != _prev.data[w])
+        for (unsigned w = 0; w < wires; w++) {
+            if (_cur.data[w] != _prev.data[w])
                 result.data_flips++;
         }
-        if (bundle.reset_skip != _prev.reset_skip)
+        if (_cur.reset_skip != _prev.reset_skip)
             result.control_flips++;
-        if (bundle.sync != _prev.sync)
+        if (_cur.sync != _prev.sync)
             result.control_flips++;
 
-        _rx.observe(bundle);
-        _prev = bundle;
+        _rx.observe(_cur);
+        // The current levels become the next cycle's reference; the
+        // swap trades buffers instead of copying the bundle again.
+        std::swap(_cur.data, _prev.data);
+        _prev.reset_skip = _cur.reset_skip;
+        _prev.sync = _cur.sync;
         result.cycles++;
         _cycle++;
         DESC_ASSERT(result.cycles < guard, "transfer did not terminate");
@@ -61,6 +67,7 @@ DescLink::reset()
 {
     _tx.reset();
     _rx.reset();
+    _cur.clear();
     _prev.clear();
     _cycle = 0;
 }

@@ -60,6 +60,7 @@ class DescLink
     DescConfig _cfg;
     DescTransmitter _tx;
     DescReceiver _rx;
+    WireBundle _cur;  //!< reused per-cycle snapshot of the tx wires
     WireBundle _prev;
     Cycle _cycle = 0;
     FaultHook _fault;

@@ -55,12 +55,18 @@ DescTransmitter::loadBlock(const BitVec &block)
     DESC_ASSERT(!_busy, "loadBlock while a transfer is in flight");
     DESC_ASSERT(block.width() == _cfg.block_bits, "block width mismatch");
 
-    auto chunks = splitChunks(block, _cfg.chunk_bits);
-    unsigned wires = _cfg.activeWires();
-    for (unsigned i = 0; i < chunks.size(); i++)
-        _fifos[chunkWire(i, wires)].push(chunks[i]);
+    const unsigned wires = _cfg.activeWires();
+    const unsigned chunk_bits = _cfg.chunk_bits;
+    const unsigned n = block.width() / chunk_bits;
+    BitCursor cur(block);
+    unsigned wire = 0;
+    for (unsigned i = 0; i < n; i++) {
+        _fifos[wire].push(std::uint8_t(cur.next(chunk_bits)));
+        if (++wire == wires)
+            wire = 0;
+    }
 
-    DESC_TRACE_EVENT(Link, _ticks, "tx: block loaded: ", chunks.size(),
+    DESC_TRACE_EVENT(Link, _ticks, "tx: block loaded: ", n,
                      " chunks on ", wires, " wires, ",
                      _cfg.numWaves(), " wave(s), ",
                      skipModeName(_cfg.skip));

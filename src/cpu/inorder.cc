@@ -9,11 +9,15 @@ InOrderCore::InOrderCore(
     : _eq(eq), _mem(mem), _core_id(core_id), _inst_budget(inst_budget)
 {
     DESC_ASSERT(!threads.empty(), "core needs at least one thread");
+    _dispatch_ev.core = this;
     for (auto &s : threads) {
         Thread t;
         t.stream = std::move(s);
         t.fetch_countdown = 0;
         _threads.push_back(std::move(t));
+        _thread_events.emplace_back();
+        _thread_events.back().core = this;
+        _thread_events.back().tid = unsigned(_thread_events.size() - 1);
     }
 }
 
@@ -28,13 +32,29 @@ InOrderCore::start()
 void
 InOrderCore::scheduleDispatch(Cycle when)
 {
-    if (_dispatch_scheduled)
+    if (_dispatch_ev.scheduled())
         return;
-    _dispatch_scheduled = true;
-    _eq.schedule(when, [this]() {
-        _dispatch_scheduled = false;
-        dispatch();
-    });
+    _eq.schedule(_dispatch_ev, when);
+}
+
+void
+InOrderCore::threadEvent(ThreadEvent &ev)
+{
+    const unsigned tid = ev.tid;
+    if (ev.kind == ThreadEvent::Kind::ExecMem) {
+        auto lat = _mem.access(
+            _core_id, ev.op.addr, ev.op.is_write, ev.op.store_value,
+            false, [this, tid]() { onMemDone(tid); });
+        if (lat) {
+            ev.kind = ThreadEvent::Kind::Wake;
+            _eq.scheduleIn(ev, *lat);
+        } else {
+            _threads[tid].blocked = true;
+        }
+        return;
+    }
+    _ready.push_back(tid);
+    scheduleDispatch(_eq.now());
 }
 
 void
@@ -100,27 +120,15 @@ InOrderCore::dispatch()
         return;
     }
 
+    ThreadEvent &tev = _thread_events[tid];
     if (has_mem) {
         _stats.mem_ops.inc();
-        _eq.schedule(end, [this, tid, op]() {
-            auto lat = _mem.access(
-                _core_id, op.addr, op.is_write, op.store_value, false,
-                [this, tid]() { onMemDone(tid); });
-            if (lat) {
-                _eq.scheduleIn(*lat, [this, tid]() {
-                    _ready.push_back(tid);
-                    scheduleDispatch(_eq.now());
-                });
-            } else {
-                _threads[tid].blocked = true;
-            }
-        });
+        tev.kind = ThreadEvent::Kind::ExecMem;
+        tev.op = op;
     } else {
-        _eq.schedule(end, [this, tid]() {
-            _ready.push_back(tid);
-            scheduleDispatch(_eq.now());
-        });
+        tev.kind = ThreadEvent::Kind::Wake;
     }
+    _eq.schedule(tev, end);
 
     scheduleDispatch(end);
 }

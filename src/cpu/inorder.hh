@@ -60,8 +60,35 @@ class InOrderCore
         std::uint64_t fetch_countdown = 0;
     };
 
+    /** The core's single reusable issue-slot event. */
+    struct DispatchEvent final : sim::Event
+    {
+        void process() override { core->dispatch(); }
+        InOrderCore *core = nullptr;
+    };
+
+    /**
+     * Per-thread continuation: either the end of an execution burst
+     * whose last instruction is a memory op (issue it), or a plain
+     * wake-up that returns the thread to the ready queue. A thread
+     * has at most one continuation in flight, so one reusable event
+     * per thread suffices.
+     */
+    struct ThreadEvent final : sim::Event
+    {
+        enum class Kind : std::uint8_t { ExecMem, Wake };
+
+        void process() override { core->threadEvent(*this); }
+
+        InOrderCore *core = nullptr;
+        unsigned tid = 0;
+        Kind kind = Kind::Wake;
+        MemOp op{};
+    };
+
     void dispatch();
     void scheduleDispatch(Cycle when);
+    void threadEvent(ThreadEvent &ev);
     void onMemDone(unsigned tid);
 
     sim::EventQueue &_eq;
@@ -72,7 +99,9 @@ class InOrderCore
     std::vector<Thread> _threads;
     std::deque<unsigned> _ready;
     unsigned _done_threads = 0;
-    bool _dispatch_scheduled = false;
+
+    DispatchEvent _dispatch_ev;
+    std::deque<ThreadEvent> _thread_events; //!< indexed by tid (pinned)
 
     CoreStats _stats;
 

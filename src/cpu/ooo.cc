@@ -9,6 +9,7 @@ OooCore::OooCore(sim::EventQueue &eq, cache::MemHierarchy &mem,
     : _eq(eq), _mem(mem), _core_id(core_id), _stream(std::move(stream)),
       _inst_budget(inst_budget), _rng(0xa0a0 + core_id)
 {
+    _dispatch_ev.core = this;
 }
 
 void
@@ -20,13 +21,56 @@ OooCore::start()
 void
 OooCore::scheduleDispatch(Cycle when)
 {
-    if (_dispatch_scheduled || _finished)
+    if (_dispatch_ev.scheduled() || _finished)
         return;
-    _dispatch_scheduled = true;
-    _eq.schedule(when, [this]() {
-        _dispatch_scheduled = false;
-        dispatch();
-    });
+    _eq.schedule(_dispatch_ev, when);
+}
+
+OooCore::ExecEvent &
+OooCore::acquireExec()
+{
+    if (_exec_free.empty()) {
+        _exec_events.emplace_back();
+        _exec_events.back().core = this;
+        return _exec_events.back();
+    }
+    ExecEvent *ev = _exec_free.back();
+    _exec_free.pop_back();
+    return *ev;
+}
+
+void
+OooCore::execEvent(ExecEvent &ev)
+{
+    const MemOp op = ev.op;
+    const std::uint64_t inst_no = ev.inst_no;
+    _exec_free.push_back(&ev);
+
+    if (op.is_write) {
+        // Stores drain through the store buffer off the critical
+        // path (traffic still charged).
+        _mem.access(_core_id, op.addr, true, op.store_value, false,
+                    []() {});
+        scheduleDispatch(_eq.now());
+        return;
+    }
+    bool dependent = _rng.chance(kDependentLoadFrac);
+    auto lat = _mem.access(_core_id, op.addr, false, 0, false,
+                           [this]() { onLoadDone(); });
+    if (lat) {
+        // L1 hit: pipelined; even a dependent load only costs the
+        // short L1 latency.
+        scheduleDispatch(_eq.now() + (dependent ? *lat : 1));
+    } else if (dependent) {
+        // Address depends on this load: the chain serializes and the
+        // full L1-miss latency is exposed.
+        _outstanding.push_back(inst_no);
+        // resumed by onLoadDone
+    } else {
+        _outstanding.push_back(inst_no);
+        // Keep executing past the miss (until ROB/MLP bind).
+        scheduleDispatch(_eq.now() + 1);
+    }
 }
 
 void
@@ -86,34 +130,10 @@ OooCore::dispatch()
     }
 
     if (has_mem) {
-        std::uint64_t inst_no = _retired;
-        _eq.schedule(end, [this, op, inst_no]() {
-            if (op.is_write) {
-                // Stores drain through the store buffer off the
-                // critical path (traffic still charged).
-                _mem.access(_core_id, op.addr, true, op.store_value,
-                            false, []() {});
-                scheduleDispatch(_eq.now());
-                return;
-            }
-            bool dependent = _rng.chance(kDependentLoadFrac);
-            auto lat = _mem.access(_core_id, op.addr, false, 0, false,
-                                   [this]() { onLoadDone(); });
-            if (lat) {
-                // L1 hit: pipelined; even a dependent load only costs
-                // the short L1 latency.
-                scheduleDispatch(_eq.now() + (dependent ? *lat : 1));
-            } else if (dependent) {
-                // Address depends on this load: the chain serializes
-                // and the full L1-miss latency is exposed.
-                _outstanding.push_back(inst_no);
-                // resumed by onLoadDone
-            } else {
-                _outstanding.push_back(inst_no);
-                // Keep executing past the miss (until ROB/MLP bind).
-                scheduleDispatch(_eq.now() + 1);
-            }
-        });
+        ExecEvent &ev = acquireExec();
+        ev.op = op;
+        ev.inst_no = _retired;
+        _eq.schedule(ev, end);
     } else {
         scheduleDispatch(end);
     }

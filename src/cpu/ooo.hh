@@ -37,9 +37,31 @@ class OooCore
     std::uint64_t instructions() const { return _retired; }
 
   private:
+    struct DispatchEvent final : sim::Event
+    {
+        void process() override { core->dispatch(); }
+        OooCore *core = nullptr;
+    };
+
+    /**
+     * End of an execution burst whose last instruction is a memory
+     * op. Several can be in flight at once (the window keeps sliding
+     * past outstanding loads), so they come from a small per-core
+     * free list that grows to the high-water mark and is then reused.
+     */
+    struct ExecEvent final : sim::Event
+    {
+        void process() override { core->execEvent(*this); }
+        OooCore *core = nullptr;
+        MemOp op{};
+        std::uint64_t inst_no = 0;
+    };
+
     void dispatch();
     void scheduleDispatch(Cycle when);
+    void execEvent(ExecEvent &ev);
     void onLoadDone();
+    ExecEvent &acquireExec();
 
     sim::EventQueue &_eq;
     cache::MemHierarchy &_mem;
@@ -50,9 +72,12 @@ class OooCore
     std::uint64_t _retired = 0;
     std::deque<std::uint64_t> _outstanding; //!< inst numbers of loads
     bool _finished = false;
-    bool _dispatch_scheduled = false;
     std::uint64_t _fetch_countdown = 0;
     Rng _rng;
+
+    DispatchEvent _dispatch_ev;
+    std::deque<ExecEvent> _exec_events; //!< pinned storage
+    std::vector<ExecEvent *> _exec_free;
 
     static constexpr unsigned kIssueWidth = 4;
     static constexpr unsigned kRob = 128;

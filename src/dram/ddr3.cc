@@ -106,17 +106,40 @@ DramSystem::trySchedule(unsigned ch_idx)
                      std::hex, req.addr, std::dec, ", complete @",
                      complete);
 
-    Cycle issued = req.issued;
-    _eq.schedule(complete, [this, ch_idx, issued,
-                            done = std::move(req.done)]() {
-        _stats.latency.sample(double(_eq.now() - issued));
-        _channels[ch_idx].in_flight--;
-        if (done)
-            done();
-        trySchedule(ch_idx);
-    });
+    CompletionEvent &ev = acquireCompletion();
+    ev.ch = ch_idx;
+    ev.issued = req.issued;
+    ev.done = std::move(req.done);
+    _eq.schedule(ev, complete);
 
     // Keep dispatching while overlap slots remain.
+    trySchedule(ch_idx);
+}
+
+DramSystem::CompletionEvent &
+DramSystem::acquireCompletion()
+{
+    if (_completion_free.empty()) {
+        _completions.emplace_back();
+        _completions.back().sys = this;
+        return _completions.back();
+    }
+    CompletionEvent *ev = _completion_free.back();
+    _completion_free.pop_back();
+    return *ev;
+}
+
+void
+DramSystem::complete(CompletionEvent &ev)
+{
+    const unsigned ch_idx = ev.ch;
+    _stats.latency.sample(double(_eq.now() - ev.issued));
+    _channels[ch_idx].in_flight--;
+    DoneFn done = std::move(ev.done);
+    ev.done = nullptr;
+    _completion_free.push_back(&ev);
+    if (done)
+        done();
     trySchedule(ch_idx);
 }
 

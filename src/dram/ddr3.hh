@@ -74,6 +74,20 @@ class DramSystem
         DoneFn done;
     };
 
+    /**
+     * Completion of an in-flight request; up to channels *
+     * max_overlap can be pending, drawn from a free list whose
+     * storage is pinned in a deque.
+     */
+    struct CompletionEvent final : sim::Event
+    {
+        void process() override { sys->complete(*this); }
+        DramSystem *sys = nullptr;
+        unsigned ch = 0;
+        Cycle issued = 0;
+        DoneFn done;
+    };
+
     struct Bank
     {
         Addr open_row = ~Addr{0};
@@ -93,11 +107,16 @@ class DramSystem
     Addr rowOf(Addr addr) const;
     Cycle toCore(unsigned mem_cycles) const;
     void trySchedule(unsigned ch);
+    void complete(CompletionEvent &ev);
+    CompletionEvent &acquireCompletion();
 
     sim::EventQueue &_eq;
     DramConfig _cfg;
     std::vector<Channel> _channels;
     DramStats _stats;
+
+    std::deque<CompletionEvent> _completions; //!< pinned storage
+    std::vector<CompletionEvent *> _completion_free;
 };
 
 } // namespace desc::dram

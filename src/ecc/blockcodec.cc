@@ -1,5 +1,7 @@
 #include "ecc/blockcodec.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace desc::ecc {
@@ -7,7 +9,7 @@ namespace desc::ecc {
 BlockCodec::BlockCodec(unsigned block_bits, unsigned segment_data_bits)
     : _block_bits(block_bits), _segment_data_bits(segment_data_bits),
       _num_segments(block_bits / segment_data_bits),
-      _code(segment_data_bits)
+      _code(segment_data_bits), _seg_scratch(segment_data_bits)
 {
     DESC_ASSERT(block_bits % segment_data_bits == 0,
                 "block not divisible into segments");
@@ -16,27 +18,43 @@ BlockCodec::BlockCodec(unsigned block_bits, unsigned segment_data_bits)
 BitVec
 BlockCodec::encode(const BitVec &block) const
 {
+    BitVec bus;
+    encodeInto(block, bus);
+    return bus;
+}
+
+void
+BlockCodec::encodeInto(const BitVec &block, BitVec &bus) const
+{
     DESC_ASSERT(block.width() == _block_bits, "block width mismatch");
-    BitVec bus(busBits());
+    if (bus.width() != busBits())
+        bus = BitVec(busBits());
+
+    // Payload bits stay in the block's own positions.
+    auto &out = bus.mutableWords();
+    const auto &in = block.words();
+    if (_block_bits % 64 == 0) {
+        std::copy(in.begin(), in.end(), out.begin());
+        std::fill(out.begin() + in.size(), out.end(), 0);
+    } else {
+        bus.clear();
+        for (unsigned b = 0; b < _block_bits; b++)
+            bus.setBit(b, block.bit(b));
+    }
 
     for (unsigned s = 0; s < _num_segments; s++) {
         // Gather the segment's interleaved data bits.
-        BitVec seg(_segment_data_bits);
         for (unsigned k = 0; k < _segment_data_bits; k++)
-            seg.setBit(k, block.bit(k * _num_segments + s));
-        BitVec code = _code.encode(seg);
-        // Payload bits stay in the block's own positions.
+            _seg_scratch.setBit(k, block.bit(k * _num_segments + s));
+        std::uint64_t parity = _code.encodeParityWord(_seg_scratch);
         // Parity bits land after the block, interleaved the same way
         // (parity bit p of segment s at p*S + s) so each parity chunk
         // also holds at most one bit per segment.
         for (unsigned p = 0; p < _code.parityBits(); p++) {
             bus.setBit(_block_bits + p * _num_segments + s,
-                       code.bit(_segment_data_bits + p));
+                       (parity >> p) & 1);
         }
     }
-    for (unsigned b = 0; b < _block_bits; b++)
-        bus.setBit(b, block.bit(b));
-    return bus;
 }
 
 BlockCodec::DecodeResult

@@ -55,6 +55,13 @@ class BlockCodec
      */
     BitVec encode(const BitVec &block) const;
 
+    /**
+     * encode() into a caller-owned bus word (resized on first use),
+     * reusing internal segment scratch — no allocations in steady
+     * state. This is the hierarchy's per-transfer path.
+     */
+    void encodeInto(const BitVec &block, BitVec &bus) const;
+
     struct DecodeResult
     {
         BitVec block;
@@ -75,6 +82,8 @@ class BlockCodec
     unsigned _segment_data_bits;
     unsigned _num_segments;
     SecdedCode _code;
+
+    mutable BitVec _seg_scratch; //!< reused encodeInto segment gather
 };
 
 } // namespace desc::ecc

@@ -47,6 +47,14 @@ class SecdedCode
     /** Encode a payload into a codeword (data first, parity after). */
     BitVec encode(const BitVec &data) const;
 
+    /**
+     * The parity bits alone — Hamming parity in the low bits, the
+     * overall parity above them — packed into one integer. This is
+     * the allocation-free path the block codec uses; encode() is
+     * equivalent to payload-copy + depositing this word.
+     */
+    std::uint64_t encodeParityWord(const BitVec &data) const;
+
     struct DecodeResult
     {
         EccStatus status;

@@ -30,11 +30,11 @@ BinaryScheme::transfer(const BitVec &block)
             std::uint64_t fresh = 0;
             if (pos < _block_bits) {
                 unsigned avail = std::min(len, _block_bits - pos);
-                fresh = block.field(pos, avail);
+                fresh = block.fieldUnchecked(pos, avail);
             }
-            std::uint64_t old = _state.field(off, len);
+            std::uint64_t old = _state.fieldUnchecked(off, len);
             result.data_flips += std::popcount(fresh ^ old);
-            _state.setField(off, len, fresh);
+            _state.setFieldUnchecked(off, len, fresh);
         }
     }
     return result;

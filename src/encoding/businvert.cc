@@ -72,7 +72,7 @@ BusInvertScheme::transfer(const BitVec &block)
         ? ~std::uint64_t{0}
         : ((std::uint64_t{1} << _seg_bits) - 1);
 
-    std::vector<SegMode> seg_modes(_num_segs);
+    _seg_modes.assign(_num_segs, SegMode::AsIs);
 
     for (unsigned beat = 0; beat < _beats; beat++) {
         unsigned beat_base = beat * _wires;
@@ -81,9 +81,10 @@ BusInvertScheme::transfer(const BitVec &block)
             std::uint64_t value = 0;
             if (pos < _block_bits) {
                 unsigned avail = std::min(_seg_bits, _block_bits - pos);
-                value = block.field(pos, avail);
+                value = block.fieldUnchecked(pos, avail);
             }
-            std::uint64_t old = _state.field(s * _seg_bits, _seg_bits);
+            std::uint64_t old =
+                _state.fieldUnchecked(s * _seg_bits, _seg_bits);
 
             // Cost of each transmission mode, counting the control
             // wires the mode would have to flip.
@@ -107,12 +108,12 @@ BusInvertScheme::transfer(const BitVec &block)
             } else {
                 chosen = SegMode::AsIs;
             }
-            seg_modes[s] = chosen;
+            _seg_modes[s] = chosen;
 
             switch (chosen) {
               case SegMode::AsIs:
                 result.data_flips += std::popcount(value ^ old);
-                _state.setField(s * _seg_bits, _seg_bits, value);
+                _state.setFieldUnchecked(s * _seg_bits, _seg_bits, value);
                 if (_inv_state[s]) {
                     result.control_flips++;
                     _inv_state[s] = false;
@@ -125,7 +126,7 @@ BusInvertScheme::transfer(const BitVec &block)
               case SegMode::Inverted: {
                 std::uint64_t coded = ~value & seg_mask;
                 result.data_flips += std::popcount(coded ^ old);
-                _state.setField(s * _seg_bits, _seg_bits, coded);
+                _state.setFieldUnchecked(s * _seg_bits, _seg_bits, coded);
                 if (!_inv_state[s]) {
                     result.control_flips++;
                     _inv_state[s] = true;
@@ -156,7 +157,7 @@ BusInvertScheme::transfer(const BitVec &block)
                 unsigned hi = std::min<unsigned>(lo + kSegsPerModeWord,
                                                  _num_segs);
                 for (unsigned s = hi; s-- > lo;)
-                    packed = packed * 3 + std::uint32_t(seg_modes[s]);
+                    packed = packed * 3 + std::uint32_t(_seg_modes[s]);
                 result.control_flips += std::popcount(packed ^
                                                       _mode_state[w]);
                 _mode_state[w] = packed;

@@ -52,6 +52,7 @@ class BusInvertScheme : public TransferScheme
     std::vector<bool> _inv_state;     //!< invert line levels
     std::vector<bool> _skip_state;    //!< sparse skip line levels
     std::vector<std::uint32_t> _mode_state; //!< encoded mode bus words
+    std::vector<SegMode> _seg_modes;  //!< reused per-beat scratch
 };
 
 } // namespace desc::encoding

@@ -33,7 +33,7 @@ DynamicZeroScheme::transfer(const BitVec &block)
             std::uint64_t value = 0;
             if (pos < _block_bits) {
                 unsigned avail = std::min(_seg_bits, _block_bits - pos);
-                value = block.field(pos, avail);
+                value = block.fieldUnchecked(pos, avail);
             }
 
             if (value == 0) {
@@ -48,9 +48,10 @@ DynamicZeroScheme::transfer(const BitVec &block)
                     result.control_flips++;
                     _zero_state[s] = false;
                 }
-                std::uint64_t old = _state.field(s * _seg_bits, _seg_bits);
+                std::uint64_t old =
+                    _state.fieldUnchecked(s * _seg_bits, _seg_bits);
                 result.data_flips += std::popcount(value ^ old);
-                _state.setField(s * _seg_bits, _seg_bits, value);
+                _state.setFieldUnchecked(s * _seg_bits, _seg_bits, value);
             }
         }
     }

@@ -5,10 +5,33 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
 #include "sim/eventq.hh"
 
 using namespace desc;
 using namespace desc::sim;
+
+namespace {
+
+/** Intrusive test event: appends (id, now) to a shared log. */
+struct LogEvent final : Event
+{
+    void
+    process() override
+    {
+        log->push_back({id, eq->now()});
+    }
+
+    EventQueue *eq = nullptr;
+    std::vector<std::pair<int, Cycle>> *log = nullptr;
+    int id = 0;
+};
+
+} // namespace
 
 TEST(EventQueue, RunsInTimeOrder)
 {
@@ -159,4 +182,293 @@ TEST(EventQueueDeath, PastSchedulingPanics)
     eq.schedule(10, []() {});
     eq.run();
     EXPECT_DEATH(eq.schedule(5, []() {}), "into the past");
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    LogEvent a;
+    eq.schedule(a, 10);
+    EXPECT_DEATH(eq.schedule(a, 20), "already scheduled");
+}
+
+// Intrusive-event coverage: the steady-state component pattern, plus
+// the schedule/deschedule/reschedule interleavings the ported models
+// rely on.
+
+TEST(EventQueueIntrusive, ScheduleDescheduleReschedule)
+{
+    EventQueue eq;
+    std::vector<std::pair<int, Cycle>> log;
+    LogEvent a;
+    a.eq = &eq;
+    a.log = &log;
+    a.id = 1;
+
+    eq.schedule(a, 10);
+    EXPECT_TRUE(a.scheduled());
+    EXPECT_EQ(a.when(), 10u);
+    eq.deschedule(a);
+    EXPECT_FALSE(a.scheduled());
+    EXPECT_EQ(eq.run(), 0u);
+    EXPECT_TRUE(log.empty());
+    // Draining stale records must not advance simulated time.
+    EXPECT_EQ(eq.now(), 0u);
+
+    eq.schedule(a, 20);
+    eq.reschedule(a, 35);
+    EXPECT_EQ(a.when(), 35u);
+    EXPECT_EQ(eq.run(), 1u);
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0], std::make_pair(1, Cycle{35}));
+    EXPECT_FALSE(a.scheduled());
+}
+
+TEST(EventQueueIntrusive, RescheduleMovesToBackOfSameCycle)
+{
+    EventQueue eq;
+    std::vector<std::pair<int, Cycle>> log;
+    std::vector<LogEvent> evs(3);
+    for (int i = 0; i < 3; i++) {
+        evs[i].eq = &eq;
+        evs[i].log = &log;
+        evs[i].id = i;
+        eq.schedule(evs[i], 40);
+    }
+    // Rescheduling to the same cycle re-enters FIFO order at the back.
+    eq.reschedule(evs[0], 40);
+    eq.run();
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0].first, 1);
+    EXPECT_EQ(log[1].first, 2);
+    EXPECT_EQ(log[2].first, 0);
+}
+
+TEST(EventQueueIntrusive, SameCycleFifoAcrossNearAndFarScheduling)
+{
+    // e0..e4 are scheduled for cycle 5000 far in advance; e5..e9 are
+    // scheduled for the same cycle from close by (cycle 4900). FIFO
+    // order must hold across both scheduling distances.
+    EventQueue eq;
+    std::vector<std::pair<int, Cycle>> log;
+    std::vector<LogEvent> evs(10);
+    for (int i = 0; i < 10; i++) {
+        evs[i].eq = &eq;
+        evs[i].log = &log;
+        evs[i].id = i;
+    }
+
+    struct Trigger final : Event
+    {
+        void
+        process() override
+        {
+            for (int i = 5; i < 10; i++)
+                eq->schedule((*evs)[i], 5000);
+        }
+        EventQueue *eq = nullptr;
+        std::vector<LogEvent> *evs = nullptr;
+    };
+    Trigger trig;
+    trig.eq = &eq;
+    trig.evs = &evs;
+
+    for (int i = 0; i < 5; i++)
+        eq.schedule(evs[i], 5000);
+    eq.schedule(trig, 4900);
+    EXPECT_EQ(eq.run(), 11u);
+    ASSERT_EQ(log.size(), 10u);
+    for (int i = 0; i < 10; i++) {
+        EXPECT_EQ(log[i].first, i);
+        EXPECT_EQ(log[i].second, 5000u);
+    }
+}
+
+TEST(EventQueueIntrusive, SparseFarTimelineRunsInOrder)
+{
+    EventQueue eq;
+    std::vector<std::pair<int, Cycle>> log;
+    const Cycle whens[] = {700, 3, 1'000'000'000, 100'000};
+    std::vector<LogEvent> evs(4);
+    for (int i = 0; i < 4; i++) {
+        evs[i].eq = &eq;
+        evs[i].log = &log;
+        evs[i].id = i;
+        eq.schedule(evs[i], whens[i]);
+    }
+    EXPECT_EQ(eq.run(), 4u);
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[0], std::make_pair(1, Cycle{3}));
+    EXPECT_EQ(log[1], std::make_pair(0, Cycle{700}));
+    EXPECT_EQ(log[2], std::make_pair(3, Cycle{100'000}));
+    EXPECT_EQ(log[3], std::make_pair(2, Cycle{1'000'000'000}));
+    EXPECT_EQ(eq.now(), 1'000'000'000u);
+}
+
+TEST(EventQueueIntrusive, LimitedRunDoesNotFireFarWorkEarly)
+{
+    // A limited run can scan (and internally reorganize) the timeline
+    // well past where simulated time ends up. Far work touched by that
+    // scan must still fire at exactly its own cycle in a later run.
+    EventQueue eq;
+    std::vector<std::pair<int, Cycle>> log;
+
+    LogEvent far, dummy;
+    far.eq = dummy.eq = &eq;
+    far.log = dummy.log = &log;
+    far.id = 2;
+    dummy.id = -1;
+
+    // Runs at 1700 and leaves a canceled marker at 1750 behind, which
+    // keeps the limited run scanning forward past 1700 instead of
+    // jumping straight to the far event.
+    struct Planter final : Event
+    {
+        void
+        process() override
+        {
+            eq->schedule(*dummy, 1750);
+            eq->deschedule(*dummy);
+        }
+        EventQueue *eq = nullptr;
+        LogEvent *dummy = nullptr;
+    };
+    Planter planter;
+    planter.eq = &eq;
+    planter.dummy = &dummy;
+
+    eq.schedule(planter, 1700);
+    eq.schedule(far, 2000);
+
+    EXPECT_EQ(eq.run(1960), 1u);
+    EXPECT_EQ(eq.now(), 1700u);
+    EXPECT_TRUE(log.empty());
+    EXPECT_TRUE(far.scheduled());
+
+    EXPECT_EQ(eq.run(), 1u);
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0], std::make_pair(2, Cycle{2000}));
+    EXPECT_EQ(eq.now(), 2000u);
+}
+
+TEST(EventQueueIntrusive, RandomizedOpsMatchOracle)
+{
+    // Random schedule/deschedule/reschedule interleavings over a pool
+    // of events, checked against a sort-based oracle: live events must
+    // fire exactly once, at their cycle, ordered by (when, seq).
+    Rng rng(0x5eed);
+    for (int trial = 0; trial < 8; trial++) {
+        EventQueue eq;
+        std::vector<std::pair<int, Cycle>> log;
+        std::vector<LogEvent> evs(16);
+        std::vector<std::pair<Cycle, unsigned>> oracle(16);
+        std::vector<bool> live(16, false);
+        unsigned stamp = 0;
+
+        for (int i = 0; i < 16; i++) {
+            evs[i].eq = &eq;
+            evs[i].log = &log;
+            evs[i].id = i;
+        }
+        for (int op = 0; op < 300; op++) {
+            unsigned i = unsigned(rng.below(evs.size()));
+            Cycle when = 1 + rng.below(800);
+            if (!live[i]) {
+                eq.schedule(evs[i], when);
+                live[i] = true;
+                oracle[i] = {when, stamp++};
+            } else if (rng.uniform() < 0.5) {
+                eq.deschedule(evs[i]);
+                live[i] = false;
+            } else {
+                eq.reschedule(evs[i], when);
+                oracle[i] = {when, stamp++};
+            }
+        }
+
+        struct Expect
+        {
+            Cycle when;
+            unsigned stamp;
+            int id;
+        };
+        std::vector<Expect> expect;
+        for (int i = 0; i < 16; i++) {
+            if (live[i])
+                expect.push_back({oracle[i].first, oracle[i].second, i});
+        }
+        std::sort(expect.begin(), expect.end(),
+                  [](const Expect &a, const Expect &b) {
+                      return a.when != b.when ? a.when < b.when
+                                              : a.stamp < b.stamp;
+                  });
+
+        EXPECT_EQ(eq.pending(), expect.size());
+        EXPECT_EQ(eq.run(), expect.size());
+        ASSERT_EQ(log.size(), expect.size()) << "trial " << trial;
+        for (std::size_t k = 0; k < expect.size(); k++) {
+            EXPECT_EQ(log[k].first, expect[k].id) << "trial " << trial;
+            EXPECT_EQ(log[k].second, expect[k].when) << "trial " << trial;
+        }
+        EXPECT_TRUE(eq.empty());
+    }
+}
+
+// Allocation-freedom: after warm-up, neither the one-shot pool nor
+// the queue's record storage may grow, no matter how many events run.
+
+TEST(EventQueue, RecurringEventsRunAllocationFree)
+{
+    EventQueue eq;
+    struct Tick final : Event
+    {
+        void
+        process() override
+        {
+            fired++;
+            if (*running)
+                eq->scheduleIn(*this, 1 + (fired & 7));
+        }
+        EventQueue *eq = nullptr;
+        bool *running = nullptr;
+        std::uint64_t fired = 0;
+    };
+
+    bool running = true;
+    std::vector<Tick> ticks(48);
+    for (auto &t : ticks) {
+        t.eq = &eq;
+        t.running = &running;
+        eq.scheduleIn(t, 1);
+    }
+
+    eq.run(eq.now() + 10'000); // reach the capacity high-water mark
+    const std::uint64_t allocs = eq.poolAllocations();
+    const std::size_t cap = eq.recordCapacity();
+    const std::uint64_t executed = eq.run(eq.now() + 200'000);
+    EXPECT_GT(executed, 1'000'000u);
+    EXPECT_EQ(eq.poolAllocations(), allocs);
+    EXPECT_EQ(eq.recordCapacity(), cap);
+
+    running = false;
+    eq.run();
+}
+
+TEST(EventQueue, OneShotPoolStopsGrowingAtHighWaterMark)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto burst = [&]() {
+        for (int i = 0; i < 100; i++)
+            eq.scheduleIn(1 + i % 7, [&]() { fired++; });
+        eq.run();
+    };
+    for (int round = 0; round < 4; round++)
+        burst();
+    const std::uint64_t allocs = eq.poolAllocations();
+    EXPECT_LE(allocs, 100u);
+    for (int round = 0; round < 4; round++)
+        burst();
+    EXPECT_EQ(eq.poolAllocations(), allocs);
+    EXPECT_EQ(fired, 800);
 }
