@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 

@@ -1,5 +1,6 @@
 #include "cache/hierarchy.hh"
 
+#include "common/contract.hh"
 #include "common/trace.hh"
 #include "core/factory.hh"
 
@@ -217,6 +218,18 @@ MemHierarchy::invalidateSharers(L2Array::Line &line, Addr addr,
     }
     if (line.meta.owner != kNoOwner && line.meta.owner != except_core)
         line.meta.owner = kNoOwner;
+    // Postcondition: only the exempted core may still share the line,
+    // and the directory cannot name an evicted sharer as owner.
+    DESC_DCHECK(except_core >= 8
+                    || (line.meta.sharers
+                        & std::uint8_t(~(1u << except_core))) == 0,
+                "sharers survived invalidation: bitmap ",
+                unsigned(line.meta.sharers), " except core ",
+                except_core);
+    DESC_DCHECK(line.meta.owner == kNoOwner
+                    || line.meta.owner == except_core,
+                "stale owner ", unsigned(line.meta.owner),
+                " after invalidation");
     return recalled;
 }
 
@@ -391,6 +404,11 @@ MemHierarchy::startMiss(Addr addr, Cycle t0, MshrEntry::Waiter w)
                      w.exclusive ? " excl" : " shared",
                      w.ifetch ? " ifetch" : "", " addr 0x", std::hex,
                      addr, std::dec, ", to DRAM");
+    // MSHR occupancy contract: one entry per block address (merges go
+    // through l2Request), and entries only die in finishMiss.
+    DESC_DCHECK(_mshrs.find(addr) == _mshrs.end(),
+                "duplicate MSHR allocation for addr 0x", std::hex, addr,
+                std::dec);
     MshrEntry entry;
     entry.exclusive_needed = w.exclusive;
     entry.waiters.push_back(std::move(w));

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contract.hh"
 #include "common/types.hh"
 
 namespace desc {
@@ -107,6 +108,9 @@ class BitVec
     std::uint64_t
     fieldUnchecked(unsigned pos, unsigned len) const
     {
+        DESC_DCHECK(len >= 1 && len <= 64 && pos + len <= _width,
+                    "unchecked field [", pos, ",+", len, ") of width ",
+                    _width);
         const unsigned word = pos >> 6;
         const unsigned off = pos & 63;
         std::uint64_t value = _words[word] >> off;
@@ -122,6 +126,9 @@ class BitVec
     void
     setFieldUnchecked(unsigned pos, unsigned len, std::uint64_t value)
     {
+        DESC_DCHECK(len >= 1 && len <= 64 && pos + len <= _width,
+                    "unchecked setField [", pos, ",+", len, ") of width ",
+                    _width);
         if (len < 64)
             value &= (std::uint64_t{1} << len) - 1;
         const unsigned word = pos >> 6;
@@ -155,12 +162,23 @@ class BitVec
 class BitCursor
 {
   public:
-    explicit BitCursor(const BitVec &v) : _words(v.words().data()) {}
+    explicit BitCursor(const BitVec &v) : _words(v.words().data())
+    {
+#ifndef NDEBUG
+        _width = v.width();
+#endif
+    }
 
     /** Read the next @p len bits (1..64) and advance. */
     std::uint64_t
     next(unsigned len)
     {
+        DESC_DCHECK(len >= 1 && len <= 64,
+                    "cursor read of ", len, " bits");
+#ifndef NDEBUG
+        DESC_DCHECK(_pos + len <= _width, "cursor read [", _pos, ",+",
+                    len, ") past width ", _width);
+#endif
         const unsigned w = _pos >> 6;
         const unsigned off = _pos & 63;
         std::uint64_t value = _words[w] >> off;
@@ -176,6 +194,9 @@ class BitCursor
   private:
     const std::uint64_t *_words;
     unsigned _pos = 0;
+#ifndef NDEBUG
+    unsigned _width = 0; //!< Debug-only: bound for the overrun DCHECK
+#endif
 };
 
 /** A 512-bit cache block payload. */

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Contract macros for modeling invariants.
+ *
+ * Three tiers, all with formatted operands in the diagnostic:
+ *
+ *  - DESC_ASSERT(cond, ...): an invariant cheap enough to keep in
+ *    every build type (argument validation, cold paths, file-format
+ *    checks). Fires panicImpl() — print context, abort — always.
+ *
+ *  - DESC_DCHECK(cond, ...): a hot-path invariant. Identical to
+ *    DESC_ASSERT in Debug builds (no NDEBUG); compiles to nothing in
+ *    Release builds so the simulation kernel pays zero cost for it.
+ *    The condition is not evaluated when compiled out, so it must be
+ *    side-effect free.
+ *
+ *  - DESC_UNREACHABLE(...): marks control flow the model guarantees
+ *    cannot happen (exhaustive switches, state machines). Aborts with
+ *    context in Debug; in Release it lowers to
+ *    __builtin_unreachable() so the optimizer can exploit it.
+ *
+ * The granularity rule of thumb: if the check guards against caller
+ * misuse of a public API, use DESC_ASSERT; if it re-verifies an
+ * invariant the surrounding code already maintains (per-event,
+ * per-bit-field, per-transition work), use DESC_DCHECK.
+ */
+
+#ifndef DESC_COMMON_CONTRACT_HH
+#define DESC_COMMON_CONTRACT_HH
+
+#include "common/log.hh"
+
+/** Assert a modeling invariant; compiled into all build types. */
+#define DESC_ASSERT(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::desc::panicImpl(__FILE__, __LINE__,                         \
+                ::desc::detail::concat("assertion failed: " #cond " ",    \
+                                       ##__VA_ARGS__));                   \
+        }                                                                 \
+    } while (0)
+
+#ifndef NDEBUG
+
+/** Debug-only invariant check; free in Release builds. */
+#define DESC_DCHECK(cond, ...) DESC_ASSERT(cond, ##__VA_ARGS__)
+
+/** Debug-checked unreachable; optimizer hint in Release builds. */
+#define DESC_UNREACHABLE(...)                                             \
+    ::desc::panicImpl(__FILE__, __LINE__,                                 \
+        ::desc::detail::concat("unreachable: ", ##__VA_ARGS__))
+
+#else // NDEBUG
+
+#define DESC_DCHECK(cond, ...)                                            \
+    do {                                                                  \
+    } while (0)
+
+#define DESC_UNREACHABLE(...) __builtin_unreachable()
+
+#endif // NDEBUG
+
+#endif // DESC_COMMON_CONTRACT_HH

@@ -89,14 +89,7 @@ concat(const Args &...args)
 #define DESC_FATAL(...) \
     ::desc::fatalImpl(__FILE__, __LINE__, ::desc::detail::concat(__VA_ARGS__))
 
-/** Assert a modeling invariant; compiled in all build types. */
-#define DESC_ASSERT(cond, ...)                                            \
-    do {                                                                  \
-        if (!(cond)) {                                                    \
-            ::desc::panicImpl(__FILE__, __LINE__,                         \
-                ::desc::detail::concat("assertion failed: " #cond " ",    \
-                                       ##__VA_ARGS__));                   \
-        }                                                                 \
-    } while (0)
+// DESC_ASSERT / DESC_DCHECK / DESC_UNREACHABLE live in
+// common/contract.hh; include that directly (desc-lint enforces it).
 
 #endif // DESC_COMMON_LOG_HH

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 
 namespace desc {
@@ -85,9 +86,12 @@ validatePath(const std::string &path)
 } // namespace
 
 StatRegistry::Entry &
-StatRegistry::insert(const std::string &path, Kind kind)
+StatRegistry::insert(const std::string &path, Kind kind,
+                     std::string description)
 {
     validatePath(path);
+    DESC_ASSERT(!description.empty(), "stat \"", path,
+                "\" registered without a description");
     DESC_ASSERT(!_entries.count(path), "duplicate stat path \"", path,
                 "\"");
 
@@ -109,43 +113,50 @@ StatRegistry::insert(const std::string &path, Kind kind)
 
     Entry e;
     e.kind = kind;
-    return _entries.emplace(path, e).first->second;
+    e.description = std::move(description);
+    return _entries.emplace(path, std::move(e)).first->second;
 }
 
 void
-StatRegistry::add(const std::string &path, const Counter &c)
+StatRegistry::add(const std::string &path, const Counter &c,
+                  std::string description)
 {
-    insert(path, Kind::Counter).counter = &c;
+    insert(path, Kind::Counter, std::move(description)).counter = &c;
 }
 
 void
-StatRegistry::add(const std::string &path, const Average &a)
+StatRegistry::add(const std::string &path, const Average &a,
+                  std::string description)
 {
-    insert(path, Kind::Average).average = &a;
+    insert(path, Kind::Average, std::move(description)).average = &a;
 }
 
 void
-StatRegistry::add(const std::string &path, const Histogram &h)
+StatRegistry::add(const std::string &path, const Histogram &h,
+                  std::string description)
 {
-    insert(path, Kind::Histogram).histogram = &h;
+    insert(path, Kind::Histogram, std::move(description)).histogram = &h;
 }
 
 void
-StatRegistry::addScalar(const std::string &path, double v)
+StatRegistry::addScalar(const std::string &path, double v,
+                        std::string description)
 {
-    insert(path, Kind::Scalar).scalar = v;
+    insert(path, Kind::Scalar, std::move(description)).scalar = v;
 }
 
 void
-StatRegistry::addInt(const std::string &path, std::uint64_t v)
+StatRegistry::addInt(const std::string &path, std::uint64_t v,
+                     std::string description)
 {
-    insert(path, Kind::Int).integer = v;
+    insert(path, Kind::Int, std::move(description)).integer = v;
 }
 
 void
-StatRegistry::addText(const std::string &path, std::string v)
+StatRegistry::addText(const std::string &path, std::string v,
+                      std::string description)
 {
-    insert(path, Kind::Text).text = std::move(v);
+    insert(path, Kind::Text, std::move(description)).text = std::move(v);
 }
 
 bool
@@ -199,6 +210,15 @@ const std::string &
 StatRegistry::text(const std::string &path) const
 {
     return lookup(path, Kind::Text).text;
+}
+
+const std::string &
+StatRegistry::description(const std::string &path) const
+{
+    auto it = _entries.find(path);
+    DESC_ASSERT(it != _entries.end(), "unknown stat path \"", path,
+                "\"");
+    return it->second.description;
 }
 
 } // namespace desc

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 
 namespace desc {
@@ -197,16 +198,32 @@ class StatRegistry
         double scalar = 0.0;
         std::uint64_t integer = 0;
         std::string text;
+        std::string description;
     };
 
-    void add(const std::string &path, const Counter &c);
-    void add(const std::string &path, const Average &a);
-    void add(const std::string &path, const Histogram &h);
-    void addScalar(const std::string &path, double v);
-    void addInt(const std::string &path, std::uint64_t v);
-    void addText(const std::string &path, std::string v);
+    /**
+     * Registration requires a non-empty human-readable description —
+     * the registry is the one source of truth for reported numbers,
+     * so every number must say what it measures. Enforced at runtime
+     * here and statically by desc-lint (tools/lint).
+     */
+    void add(const std::string &path, const Counter &c,
+             std::string description);
+    void add(const std::string &path, const Average &a,
+             std::string description);
+    void add(const std::string &path, const Histogram &h,
+             std::string description);
+    void addScalar(const std::string &path, double v,
+                   std::string description);
+    void addInt(const std::string &path, std::uint64_t v,
+                std::string description);
+    void addText(const std::string &path, std::string v,
+                 std::string description);
 
     bool contains(const std::string &path) const;
+
+    /** The registered description of @p path (panics if unknown). */
+    const std::string &description(const std::string &path) const;
 
     /** Typed lookups; missing path or kind mismatch is a panic. */
     std::uint64_t counterValue(const std::string &path) const;
@@ -226,7 +243,8 @@ class StatRegistry
     }
 
   private:
-    Entry &insert(const std::string &path, Kind kind);
+    Entry &insert(const std::string &path, Kind kind,
+                  std::string description);
     const Entry &lookup(const std::string &path, Kind kind) const;
 
     std::map<std::string, Entry> _entries;

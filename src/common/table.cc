@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdlib>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 
 namespace desc {

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/contract.hh"
+
 namespace desc::trace {
 
 namespace {
@@ -10,8 +12,9 @@ namespace {
 constexpr const char *kNames[kNumChannels] = {
     "link", "cache", "dram", "runner"};
 
-/** Explicit override from setStream(); nullptr means "default". */
-std::FILE *g_override = nullptr;
+/** Explicit override from setStream(); nullptr means "default".
+ *  Atomic: a test may redirect while sweep workers are emitting. */
+std::atomic<std::FILE *> g_override{nullptr};
 
 /** Stream selected by DESC_TRACE_FILE (opened lazily, never closed —
  *  trace points may fire from static destructors). */
@@ -36,7 +39,8 @@ defaultStream()
 std::FILE *
 stream()
 {
-    return g_override ? g_override : defaultStream();
+    std::FILE *o = g_override.load(std::memory_order_acquire);
+    return o ? o : defaultStream();
 }
 
 void
@@ -60,7 +64,7 @@ write(Channel c, const char *cycle_field, const std::string &msg)
 
 namespace detail {
 
-std::uint32_t mask = [] {
+std::atomic<std::uint32_t> mask = [] {
     return parseSpec(std::getenv("DESC_TRACE"));
 }();
 
@@ -113,19 +117,19 @@ parseSpec(const char *spec)
 void
 setMask(std::uint32_t mask)
 {
-    detail::mask = mask;
+    detail::mask.store(mask, std::memory_order_relaxed);
 }
 
 std::uint32_t
 mask()
 {
-    return detail::mask;
+    return detail::mask.load(std::memory_order_relaxed);
 }
 
 void
 setStream(std::FILE *out)
 {
-    g_override = out;
+    g_override.store(out, std::memory_order_release);
 }
 
 void

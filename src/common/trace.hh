@@ -23,6 +23,7 @@
 #ifndef DESC_COMMON_TRACE_HH
 #define DESC_COMMON_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -52,8 +53,14 @@ std::uint32_t parseSpec(const char *spec);
 
 namespace detail {
 
-/** Live channel bitmask; initialized from DESC_TRACE before main(). */
-extern std::uint32_t mask;
+/**
+ * Live channel bitmask; initialized from DESC_TRACE before main().
+ * Atomic because sweep workers read it at every trace point while
+ * tests (or a driver) may flip channels with setMask(); relaxed order
+ * suffices — the mask carries no data dependency, and on the targets
+ * we care about a relaxed load costs the same as a plain one.
+ */
+extern std::atomic<std::uint32_t> mask;
 
 } // namespace detail
 
@@ -61,7 +68,8 @@ extern std::uint32_t mask;
 inline bool
 enabled(Channel c)
 {
-    return (detail::mask >> unsigned(c)) & 1u;
+    return (detail::mask.load(std::memory_order_relaxed)
+            >> unsigned(c)) & 1u;
 }
 
 /** Replace the channel mask at runtime (tests / programmatic use). */

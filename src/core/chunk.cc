@@ -1,5 +1,6 @@
 #include "core/chunk.hh"
 
+#include "common/contract.hh"
 #include "common/log.hh"
 
 namespace desc::core {

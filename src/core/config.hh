@@ -7,6 +7,7 @@
 #ifndef DESC_CORE_CONFIG_HH
 #define DESC_CORE_CONFIG_HH
 
+#include "common/contract.hh"
 #include "common/types.hh"
 #include "common/log.hh"
 

@@ -1,5 +1,6 @@
 #include "core/descscheme.hh"
 
+#include "common/contract.hh"
 #include "core/chunk.hh"
 #include "core/timing.hh"
 

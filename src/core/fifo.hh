@@ -8,6 +8,7 @@
 
 #include <deque>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 
 namespace desc::core {

@@ -1,5 +1,6 @@
 #include "core/link.hh"
 
+#include "common/contract.hh"
 #include "common/trace.hh"
 
 namespace desc::core {

@@ -1,5 +1,6 @@
 #include "core/receiver.hh"
 
+#include "common/contract.hh"
 #include "common/trace.hh"
 #include "core/chunk.hh"
 #include "core/timing.hh"

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 
 namespace desc::core {

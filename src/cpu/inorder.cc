@@ -1,5 +1,7 @@
 #include "cpu/inorder.hh"
 
+#include "common/contract.hh"
+
 namespace desc::cpu {
 
 InOrderCore::InOrderCore(

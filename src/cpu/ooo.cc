@@ -1,5 +1,7 @@
 #include "cpu/ooo.hh"
 
+#include "common/contract.hh"
+
 namespace desc::cpu {
 
 OooCore::OooCore(sim::EventQueue &eq, cache::MemHierarchy &mem,

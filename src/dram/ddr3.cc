@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contract.hh"
 #include "common/trace.hh"
 
 namespace desc::dram {
@@ -9,6 +10,24 @@ namespace desc::dram {
 DramSystem::DramSystem(sim::EventQueue &eq, const DramConfig &cfg)
     : _eq(eq), _cfg(cfg), _channels(cfg.channels)
 {
+    // Timing-parameter windows: zero timings would collapse the
+    // pipeline into same-cycle completions and a zero clock would
+    // divide by zero in the core-cycle conversion.
+    DESC_ASSERT(cfg.channels >= 1 && cfg.channels <= 64,
+                "DRAM channels out of range: ", cfg.channels);
+    DESC_ASSERT(cfg.banks_per_channel >= 1 && cfg.banks_per_channel <= 64,
+                "DRAM banks per channel out of range: ",
+                cfg.banks_per_channel);
+    DESC_ASSERT(cfg.mem_ghz > 0.0 && cfg.core_ghz > 0.0,
+                "DRAM clocks must be positive: mem ", cfg.mem_ghz,
+                " GHz, core ", cfg.core_ghz, " GHz");
+    DESC_ASSERT(cfg.tCL >= 1 && cfg.tRCD >= 1 && cfg.tRP >= 1
+                    && cfg.tBurst >= 1,
+                "DDR3 timings must be at least one memory cycle: tCL=",
+                cfg.tCL, " tRCD=", cfg.tRCD, " tRP=", cfg.tRP,
+                " tBurst=", cfg.tBurst);
+    DESC_ASSERT(cfg.max_overlap >= 1,
+                "channel overlap window must admit one request");
     for (auto &ch : _channels)
         ch.banks.assign(cfg.banks_per_channel, Bank{});
 }
@@ -86,6 +105,10 @@ DramSystem::trySchedule(unsigned ch_idx)
                                 ch.data_bus_free);
     Cycle complete = data_start + toCore(_cfg.tBurst);
 
+    // A burst takes at least one core cycle, so every completion is
+    // strictly in the future and bank/bus busy times only advance.
+    DESC_DCHECK(complete > _eq.now(), "DRAM completion at ", complete,
+                " not after now ", _eq.now());
     bank.open_row = rowOf(req.addr);
     bank.ready_at = complete;
     ch.data_bus_free = data_start + toCore(_cfg.tBurst);
@@ -133,6 +156,10 @@ void
 DramSystem::complete(CompletionEvent &ev)
 {
     const unsigned ch_idx = ev.ch;
+    DESC_DCHECK(_eq.now() >= ev.issued, "completion at ", _eq.now(),
+                " before issue at ", ev.issued);
+    DESC_DCHECK(_channels[ch_idx].in_flight >= 1,
+                "completion on idle channel ", ch_idx);
     _stats.latency.sample(double(_eq.now() - ev.issued));
     _channels[ch_idx].in_flight--;
     DoneFn done = std::move(ev.done);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 
 namespace desc::ecc {

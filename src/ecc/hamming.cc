@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 
 namespace desc::ecc {

@@ -1,5 +1,6 @@
 #include "ecc/injector.hh"
 
+#include "common/contract.hh"
 #include "common/log.hh"
 
 namespace desc::ecc {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 
 namespace desc::energy {

@@ -43,6 +43,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -96,9 +97,11 @@ class EventQueue
     void
     schedule(Event &ev, Cycle when)
     {
-        DESC_ASSERT(when >= _now, "scheduling into the past: ", when,
+        DESC_DCHECK(when >= _now, "scheduling into the past: ", when,
                     " < ", _now);
-        DESC_ASSERT(!ev.scheduled(), "event is already scheduled");
+        DESC_DCHECK(!ev.scheduled(),
+                    "double-schedule of a live event (when=", ev._when,
+                    ", requested=", when, ")");
         ev._when = when;
         ev._live_seq = _next_seq;
         if (when - _now < kWheelSpan) {
@@ -213,9 +216,18 @@ class EventQueue
                 if (r.ev->_live_seq != r.seq)
                     continue; // stale
                 if (r.ev->_when != scan) {
+                    // A live record can only sit in this slot early if
+                    // its cycle is a whole wheel turn (or more) away.
+                    DESC_DCHECK((r.ev->_when & kWheelMask)
+                                    == (scan & kWheelMask),
+                                "live record in wrong wheel slot: when=",
+                                r.ev->_when, " scan=", scan);
                     slot[keep++] = r;
                     continue;
                 }
+                DESC_DCHECK(scan >= _now,
+                            "event time moved backwards: ", scan, " < ",
+                            _now);
                 _now = scan;
                 r.ev->_live_seq = Event::kIdle;
                 _live--;
@@ -307,7 +319,16 @@ class EventQueue
         return ev;
     }
 
-    void release(CallbackEvent *ev) { _pool_free.push_back(ev); }
+    void
+    release(CallbackEvent *ev)
+    {
+        _pool_free.push_back(ev);
+        // Pool high-water contract: every free entry must come from a
+        // pooled slab, so the free list can never outgrow the pool.
+        DESC_DCHECK(_pool_free.size() <= _pool.size(),
+                    "callback pool free list (", _pool_free.size(),
+                    ") exceeds pool size (", _pool.size(), ")");
+    }
 
     /** Min-heap on (when, seq); _store is the reused backing vector. */
     class Heap : public std::priority_queue<Rec, std::vector<Rec>,

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/contract.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "sim/runcache.hh"
@@ -22,8 +23,12 @@ Runner::defaultJobs()
         if (end != env && *end == '\0' && errno == 0 && v >= 1
             && v <= 4096)
             return unsigned(v);
-        warn(detail::concat("ignoring invalid DESC_SIM_JOBS=\"", env,
-                            "\" (want an integer in [1, 4096])"));
+        // Once per process: every Runner construction re-reads the
+        // environment, and a sweep can build many runners.
+        warnOnce(detail::concat("desc-sim-jobs-", env),
+                 detail::concat("ignoring invalid DESC_SIM_JOBS=\"",
+                                env,
+                                "\" (want an integer in [1, 4096])"));
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;

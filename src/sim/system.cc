@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/contract.hh"
 #include "cpu/inorder.hh"
 #include "cpu/ooo.hh"
 #include "workloads/backing.hh"

@@ -1,5 +1,6 @@
 #include "sim/vcd.hh"
 
+#include "common/contract.hh"
 #include "common/log.hh"
 
 namespace desc::sim {

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the contract macros (common/contract.hh): DESC_ASSERT
+ * aborts with formatted context in every build type, DESC_DCHECK is a
+ * Debug-only re-verification that costs nothing in Release, and
+ * DESC_UNREACHABLE traps in Debug. Death tests pin down the message
+ * format so a failing contract stays greppable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/contract.hh"
+#include "common/log.hh"
+
+namespace {
+
+int
+identity(int v)
+{
+    return v;
+}
+
+} // namespace
+
+TEST(Contract, PassingAssertHasNoEffect)
+{
+    DESC_ASSERT(1 + 1 == 2, "arithmetic works");
+    DESC_ASSERT(true);
+    SUCCEED();
+}
+
+TEST(ContractDeath, AssertAbortsWithConditionAndOperands)
+{
+    std::uint64_t got = 7, want = 9;
+    EXPECT_DEATH(
+        DESC_ASSERT(got == want, "got ", got, ", want ", want),
+        "assertion failed: got == want got 7, want 9");
+}
+
+TEST(ContractDeath, AssertFiresInEveryBuildType)
+{
+    // Unlike DESC_DCHECK, DESC_ASSERT must survive NDEBUG.
+    EXPECT_DEATH(DESC_ASSERT(identity(0) == 1, "always on"),
+                 "assertion failed");
+}
+
+TEST(ContractDeath, AssertIncludesThreadContextTag)
+{
+    EXPECT_DEATH(
+        {
+            desc::setThreadLogContext("w7");
+            DESC_ASSERT(false, "tagged failure");
+        },
+        "\\[w7\\] assertion failed.*tagged failure");
+}
+
+#ifndef NDEBUG
+
+TEST(ContractDeath, DcheckAbortsInDebugBuilds)
+{
+    EXPECT_DEATH(DESC_DCHECK(identity(2) == 3, "v=", identity(2)),
+                 "assertion failed.*v=2");
+}
+
+TEST(ContractDeath, UnreachableTrapsInDebugBuilds)
+{
+    EXPECT_DEATH(DESC_UNREACHABLE("state ", 42),
+                 "unreachable: state 42");
+}
+
+#else // NDEBUG
+
+TEST(Contract, DcheckCompilesOutInReleaseBuilds)
+{
+    // The condition must not be evaluated at all when compiled out —
+    // the macro documents it must be side-effect free, and relying on
+    // evaluation would reintroduce hot-path cost.
+    int evaluations = 0;
+    DESC_DCHECK([&] {
+        evaluations++;
+        return false;
+    }());
+    EXPECT_EQ(evaluations, 0);
+}
+
+#endif // NDEBUG
+
+TEST(Contract, DcheckPassesThroughWhenTrue)
+{
+    DESC_DCHECK(2 + 2 == 4, "arithmetic still works");
+    SUCCEED();
+}

@@ -267,12 +267,12 @@ TEST(StatRegistry, AddAndLookupEveryKind)
     h.sample(3);
 
     StatRegistry reg;
-    reg.add("l2.hits", c);
-    reg.add("l2.hit_latency", a);
-    reg.add("chunks.values", h);
-    reg.addScalar("perf.ipc", 1.5);
-    reg.addInt("perf.cycles", 1000);
-    reg.addText("run.app", "FFT");
+    reg.add("l2.hits", c, "test stat");
+    reg.add("l2.hit_latency", a, "test stat");
+    reg.add("chunks.values", h, "test stat");
+    reg.addScalar("perf.ipc", 1.5, "test stat");
+    reg.addInt("perf.cycles", 1000, "test stat");
+    reg.addText("run.app", "FFT", "test stat");
 
     EXPECT_EQ(reg.size(), std::size_t{6});
     EXPECT_FALSE(reg.empty());
@@ -290,17 +290,41 @@ TEST(StatRegistry, LiveReferencesSeeLaterUpdates)
 {
     Counter c;
     StatRegistry reg;
-    reg.add("n", c);
+    reg.add("n", c, "test stat");
     c.inc(3);
     EXPECT_EQ(reg.counterValue("n"), 3u);
+}
+
+TEST(StatRegistry, DescriptionsAreStoredAndQueryable)
+{
+    Counter c;
+    StatRegistry reg;
+    reg.add("l2.hits", c, "L2 hits");
+    reg.addScalar("perf.ipc", 1.5, "instructions per cycle");
+    EXPECT_EQ(reg.description("l2.hits"), "L2 hits");
+    EXPECT_EQ(reg.description("perf.ipc"), "instructions per cycle");
+    EXPECT_EQ(reg.entries().at("l2.hits").description, "L2 hits");
+}
+
+TEST(StatRegistryDeath, EmptyDescriptionAsserts)
+{
+    StatRegistry reg;
+    EXPECT_DEATH(reg.addInt("perf.cycles", 1, ""),
+                 "registered without a description");
+}
+
+TEST(StatRegistryDeath, DescriptionOfUnknownPathAsserts)
+{
+    StatRegistry reg;
+    EXPECT_DEATH(reg.description("nope"), "unknown stat path");
 }
 
 TEST(StatRegistry, EntriesIterateInPathOrder)
 {
     StatRegistry reg;
-    reg.addInt("b.y", 1);
-    reg.addInt("a", 2);
-    reg.addInt("b.x", 3);
+    reg.addInt("b.y", 1, "test stat");
+    reg.addInt("a", 2, "test stat");
+    reg.addInt("b.x", 3, "test stat");
     std::vector<std::string> paths;
     for (const auto &[path, entry] : reg.entries())
         paths.push_back(path);
@@ -310,37 +334,37 @@ TEST(StatRegistry, EntriesIterateInPathOrder)
 TEST(StatRegistryDeath, DuplicatePathAsserts)
 {
     StatRegistry reg;
-    reg.addInt("a.b", 1);
-    EXPECT_DEATH(reg.addInt("a.b", 2), "duplicate stat path");
+    reg.addInt("a.b", 1, "test stat");
+    EXPECT_DEATH(reg.addInt("a.b", 2, "test stat"), "duplicate stat path");
 }
 
 TEST(StatRegistryDeath, LeafCannotBecomeInterior)
 {
     StatRegistry reg;
-    reg.addInt("l2", 1);
-    EXPECT_DEATH(reg.addInt("l2.hits", 2), "conflicts");
+    reg.addInt("l2", 1, "test stat");
+    EXPECT_DEATH(reg.addInt("l2.hits", 2, "test stat"), "conflicts");
 }
 
 TEST(StatRegistryDeath, InteriorCannotBecomeLeaf)
 {
     StatRegistry reg;
-    reg.addInt("l2.hits", 1);
-    EXPECT_DEATH(reg.addInt("l2", 2), "conflicts");
+    reg.addInt("l2.hits", 1, "test stat");
+    EXPECT_DEATH(reg.addInt("l2", 2, "test stat"), "conflicts");
 }
 
 TEST(StatRegistryDeath, MalformedPathsAssert)
 {
     StatRegistry reg;
-    EXPECT_DEATH(reg.addInt("", 1), "empty stat path");
-    EXPECT_DEATH(reg.addInt(".a", 1), "malformed");
-    EXPECT_DEATH(reg.addInt("a.", 1), "malformed");
-    EXPECT_DEATH(reg.addInt("a..b", 1), "malformed");
+    EXPECT_DEATH(reg.addInt("", 1, "test stat"), "empty stat path");
+    EXPECT_DEATH(reg.addInt(".a", 1, "test stat"), "malformed");
+    EXPECT_DEATH(reg.addInt("a.", 1, "test stat"), "malformed");
+    EXPECT_DEATH(reg.addInt("a..b", 1, "test stat"), "malformed");
 }
 
 TEST(StatRegistryDeath, KindMismatchAsserts)
 {
     StatRegistry reg;
-    reg.addInt("perf.cycles", 7);
+    reg.addInt("perf.cycles", 7, "test stat");
     EXPECT_DEATH(reg.scalar("perf.cycles"), "is a int, not a scalar");
     EXPECT_DEATH(reg.counterValue("missing"), "unknown stat path");
 }

@@ -176,6 +176,10 @@ TEST(EventQueue, EventsAtLimitMaySpawnSameCycleWork)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
+// Scheduling contracts are DESC_DCHECKs: they trap with context in
+// Debug builds and compile to nothing on the Release hot path.
+#ifndef NDEBUG
+
 TEST(EventQueueDeath, PastSchedulingPanics)
 {
     EventQueue eq;
@@ -189,8 +193,23 @@ TEST(EventQueueDeath, DoubleSchedulePanics)
     EventQueue eq;
     LogEvent a;
     eq.schedule(a, 10);
-    EXPECT_DEATH(eq.schedule(a, 20), "already scheduled");
+    EXPECT_DEATH(eq.schedule(a, 20), "double-schedule of a live event");
 }
+
+TEST(EventQueueDeath, DoubleScheduleOfPooledCallbackPanics)
+{
+    // The same contract protects the pooled one-shot wrapper: a
+    // component that re-schedules a live intrusive event by accident
+    // must trap before the queue's FIFO/sequence bookkeeping corrupts.
+    EventQueue eq;
+    LogEvent a;
+    eq.schedule(a, 3);
+    eq.deschedule(a);
+    eq.schedule(a, 4); // deschedule + schedule is legal...
+    EXPECT_DEATH(eq.schedule(a, 4), "double-schedule"); // ...twice is not
+}
+
+#endif // !NDEBUG
 
 // Intrusive-event coverage: the steady-state component pattern, plus
 // the schedule/deschedule/reschedule interleavings the ported models

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <string>
 #include <unistd.h>
 
 #include "sim/runcache.hh"
@@ -97,6 +99,74 @@ expectBitIdentical(const AppRun &a, const AppRun &b)
 TEST(Runner, DefaultJobsIsPositive)
 {
     EXPECT_GE(Runner::defaultJobs(), 1u);
+}
+
+namespace {
+
+/** Sets DESC_SIM_JOBS for one test and restores it afterwards. */
+struct JobsEnvGuard
+{
+    std::string saved;
+    bool was_set;
+
+    explicit JobsEnvGuard(const char *value)
+    {
+        const char *old = getenv("DESC_SIM_JOBS");
+        was_set = old != nullptr;
+        if (was_set)
+            saved = old;
+        if (value)
+            setenv("DESC_SIM_JOBS", value, 1);
+        else
+            unsetenv("DESC_SIM_JOBS");
+    }
+
+    ~JobsEnvGuard()
+    {
+        if (was_set)
+            setenv("DESC_SIM_JOBS", saved.c_str(), 1);
+        else
+            unsetenv("DESC_SIM_JOBS");
+    }
+};
+
+} // namespace
+
+TEST(Runner, JobsEnvValidValueIsHonored)
+{
+    JobsEnvGuard env("3");
+    EXPECT_EQ(Runner::defaultJobs(), 3u);
+}
+
+TEST(Runner, JobsEnvRejectsZeroNegativeAndGarbage)
+{
+    // Every malformed value falls back to the hardware default; the
+    // parser must not crash, wrap a negative into a huge count, or
+    // accept trailing junk.
+    unsigned fallback;
+    {
+        JobsEnvGuard env(nullptr);
+        fallback = Runner::defaultJobs();
+    }
+    for (const char *bad :
+         {"0", "-1", "-4096", "banana", "3banana", "", " ",
+          "99999999999999999999", "4097", "0x10"}) {
+        JobsEnvGuard env(bad);
+        EXPECT_EQ(Runner::defaultJobs(), fallback)
+            << "DESC_SIM_JOBS=\"" << bad << '"';
+    }
+}
+
+TEST(Runner, JobsEnvBoundaryValues)
+{
+    {
+        JobsEnvGuard env("1");
+        EXPECT_EQ(Runner::defaultJobs(), 1u);
+    }
+    {
+        JobsEnvGuard env("4096");
+        EXPECT_EQ(Runner::defaultJobs(), 4096u);
+    }
 }
 
 TEST(Runner, ParallelBatchMatchesSerialBitForBit)

@@ -106,10 +106,10 @@ TEST(StatDump, RegistryMatchesRunFields)
 TEST(StatDump, JsonNestsDottedPaths)
 {
     StatRegistry reg;
-    reg.addInt("a", 1);
-    reg.addScalar("b.c", 0.5);
-    reg.addText("b.d", "hi");
-    reg.addInt("e.f.g", 2);
+    reg.addInt("a", 1, "test stat");
+    reg.addScalar("b.c", 0.5, "test stat");
+    reg.addText("b.d", "hi", "test stat");
+    reg.addInt("e.f.g", 2, "test stat");
 
     EXPECT_EQ(registryJson(reg),
               "{\n"
@@ -132,14 +132,14 @@ TEST(StatDump, JsonCompositeAndSpecialValues)
     Average a;
     a.sample(2.0);
     a.sample(4.0);
-    reg.add("lat", a);
+    reg.add("lat", a, "test stat");
     Histogram h(2);
     h.sample(0);
     h.sample(1);
     h.sample(5); // overflow
-    reg.add("hist", h);
-    reg.addScalar("nan", std::nan(""));
-    reg.addText("quoted", "a\"b\nc");
+    reg.add("hist", h, "test stat");
+    reg.addScalar("nan", std::nan(""), "test stat");
+    reg.addText("quoted", "a\"b\nc", "test stat");
 
     std::string json = registryJson(reg);
     EXPECT_NE(json.find("\"lat\": {\"count\": 2, \"sum\": 6, "
@@ -158,16 +158,16 @@ TEST(StatDump, CsvFlattensCompositeStats)
     StatRegistry reg;
     Counter c;
     c.inc(3);
-    reg.add("hits", c);
+    reg.add("hits", c, "test stat");
     Average a;
     a.sample(2.0);
     a.sample(4.0);
-    reg.add("lat", a);
+    reg.add("lat", a, "test stat");
     Histogram h(2);
     h.sample(0);
     h.sample(1);
     h.sample(5);
-    reg.add("hist", h);
+    reg.add("hist", h, "test stat");
 
     std::ostringstream os;
     writeRegistryCsv(os, reg, "r");

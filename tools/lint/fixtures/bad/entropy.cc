@@ -1,0 +1,15 @@
+// desc-lint fixture: deliberate violations.
+// Expected findings: determinism (rand/srand/time), test-include.
+// Never compiled; exercised only by desc_lint.py --self-test.
+
+#include <cstdlib>
+#include <ctime>
+
+#include "tests/common/helpers.hh"
+
+unsigned
+entropy()
+{
+    srand(time(nullptr));
+    return std::rand() % 7;
+}

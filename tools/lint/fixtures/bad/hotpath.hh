@@ -1,0 +1,27 @@
+// desc-lint fixture: deliberate violations.
+// Expected findings: hot-path-alloc, include-guard, contract-include.
+// Never compiled; exercised only by desc_lint.py --self-test.
+
+#ifndef DESC_FIXTURES_WRONG_GUARD_HH
+#define DESC_FIXTURES_WRONG_GUARD_HH
+
+struct Node
+{
+    Node *next;
+};
+
+inline Node *
+makeNode()
+{
+    DESC_ASSERT(true, "contract macro without a direct contract.hh "
+                "include");
+    return new Node{nullptr};
+}
+
+inline void
+freeNode(Node *n)
+{
+    delete n;
+}
+
+#endif // DESC_FIXTURES_WRONG_GUARD_HH

@@ -1,0 +1,13 @@
+// desc-lint fixture: deliberate violations.
+// Expected findings: stat-description (missing and empty).
+// Never compiled; exercised only by desc_lint.py --self-test.
+
+#include "common/stats.hh"
+
+void
+harvest(desc::StatRegistry &reg, const desc::Counter &hits)
+{
+    reg.addInt("perf.cycles", 123);
+    reg.add("l2.hits", hits, "");
+    reg.addScalar("perf.ipc", 1.5, "retired instructions per cycle");
+}

@@ -1,0 +1,12 @@
+// desc-lint fixture: deliberate violations.
+// Expected findings: trace-channel (Bogus is not in the Channel enum).
+// Never compiled; exercised only by desc_lint.py --self-test.
+
+#include "common/trace.hh"
+
+void
+traceSomething()
+{
+    DESC_TRACE_EVENT(Bogus, 42, "undeclared channel");
+    DESC_TRACE_HOST(Runner, "declared channel, fine");
+}

@@ -1,0 +1,19 @@
+// desc-lint fixture: a fully conforming header.
+// Expected findings: none.
+// Never compiled; exercised only by desc_lint.py --self-test.
+
+#ifndef DESC_FIXTURES_GOOD_CLEAN_HH
+#define DESC_FIXTURES_GOOD_CLEAN_HH
+
+#include "common/contract.hh"
+#include "common/trace.hh"
+
+inline unsigned
+halve(unsigned v)
+{
+    DESC_ASSERT(v % 2 == 0, "v must be even, got ", v);
+    DESC_TRACE_HOST(Runner, "halving");
+    return v / 2;
+}
+
+#endif // DESC_FIXTURES_GOOD_CLEAN_HH
