@@ -118,7 +118,28 @@ linkConfig()
 double
 benchLink(std::uint64_t blocks_n)
 {
+    // Auto mode: no hooks attached, so this measures the closed-form
+    // fast path (the production configuration).
     core::DescLink link(linkConfig());
+    link.setMode(core::LinkMode::Auto);
+    auto blocks = makeBlocks(4);
+    std::uint64_t sink = 0;
+    auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < blocks_n; i++)
+        sink += link.transferBlock(blocks[i & 63]).cycles;
+    double dt = secondsSince(t0);
+    if (sink == 0)
+        std::fprintf(stderr, "impossible\n");
+    return double(blocks_n) / dt;
+}
+
+double
+benchLinkTicked(std::uint64_t blocks_n)
+{
+    // The cycle-accurate reference loop, kept tracked so a regression
+    // in the fallback (VCD export, fault injection) stays visible.
+    core::DescLink link(linkConfig());
+    link.setMode(core::LinkMode::Ticked);
     auto blocks = makeBlocks(4);
     std::uint64_t sink = 0;
     auto t0 = Clock::now();
@@ -191,7 +212,8 @@ main(int argc, char **argv)
     bool quick = std::getenv("DESC_BENCH_QUICK") != nullptr;
 
     std::uint64_t ev_n = quick ? 200'000 : 2'000'000;
-    std::uint64_t link_n = quick ? 2'000 : 20'000;
+    std::uint64_t link_n = quick ? 20'000 : 200'000;
+    std::uint64_t link_ticked_n = quick ? 2'000 : 20'000;
     std::uint64_t scheme_n = quick ? 20'000 : 200'000;
     std::uint64_t stats_n = quick ? 20'000 : 200'000;
     std::uint64_t insts = quick ? 1'000 : 3'000;
@@ -201,6 +223,8 @@ main(int argc, char **argv)
     std::fprintf(stderr, "eventq:    %12.0f events/sec\n", ev);
     double link = benchLink(link_n);
     std::fprintf(stderr, "link:      %12.0f blocks/sec\n", link);
+    double link_ticked = benchLinkTicked(link_ticked_n);
+    std::fprintf(stderr, "link-tick: %12.0f blocks/sec\n", link_ticked);
     double scheme = benchScheme(scheme_n);
     std::fprintf(stderr, "scheme:    %12.0f blocks/sec\n", scheme);
     double cstats = benchChunkStats(stats_n);
@@ -223,14 +247,15 @@ main(int argc, char **argv)
         "  \"metrics\": {\n"
         "    \"eventq_events_per_sec\": %.0f,\n"
         "    \"link_blocks_per_sec\": %.0f,\n"
+        "    \"link_ticked_blocks_per_sec\": %.0f,\n"
         "    \"scheme_blocks_per_sec\": %.0f,\n"
         "    \"chunkstats_blocks_per_sec\": %.0f,\n"
         "    \"runsystem_cycles_per_sec\": %.0f\n"
         "  },\n"
         "  \"check\": { \"runsystem_cycles\": %llu }\n"
         "}\n",
-        quick ? "true" : "false", ev, link, scheme, cstats, rs,
-        (unsigned long long)cycles);
+        quick ? "true" : "false", ev, link, link_ticked, scheme, cstats,
+        rs, (unsigned long long)cycles);
     std::fclose(f);
     return 0;
 }

@@ -62,6 +62,16 @@ class AdaptiveTracker
         std::fill(_best.begin(), _best.end(), 0);
     }
 
+    /** Full-state equality (fast-path differential tests). */
+    bool
+    operator==(const AdaptiveTracker &o) const
+    {
+        return _values == o._values && _counts == o._counts
+            && _best == o._best;
+    }
+
+    bool operator!=(const AdaptiveTracker &o) const { return !(*this == o); }
+
   private:
     static constexpr std::uint8_t kSaturation = 255;
 

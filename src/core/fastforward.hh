@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Closed-form summary of one DESC block transfer (the link fast path).
+ *
+ * Every quantity the cycle-accurate loop produces is a closed-form
+ * function of the chunk values, the skip-mode reference values, and
+ * the reset/sync pulse schedule (see DESIGN.md §10 for the
+ * derivation):
+ *
+ *   - a chunk's data strobe fires chunkCycles(v, skipping, s) cycles
+ *     after its wave opens, so each wave's window is the maximum over
+ *     its strobed chunks (minimum 1: an all-skipped wave still needs a
+ *     cycle before the shared pulse wire can toggle again);
+ *   - the sync strobe toggles once per busy cycle, the reset/skip
+ *     wire once per opening/merged/final-closing pulse;
+ *   - a wire's final level is its initial level XOR (strobes mod 2),
+ *     because toggle signaling has no idle return.
+ *
+ * DescTransmitter::fastForwardBlock fills this plan while updating the
+ * transmitter's own skip state; DescReceiver::fastForwardBlock then
+ * replays the same outcome onto the receiver. All storage is sized at
+ * construction so the per-block path never allocates.
+ */
+
+#ifndef DESC_CORE_FASTFORWARD_HH
+#define DESC_CORE_FASTFORWARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/scheme.hh"
+
+namespace desc::core {
+
+struct FastForwardPlan
+{
+    explicit FastForwardPlan(unsigned wires)
+        : strobe_odd(wires, 0), final_got(wires, 0),
+          final_skipv(wires, 0), final_vals(wires, 0),
+          final_elapsed(wires, 0)
+    {
+    }
+
+    /** What the ticked loop would have returned. */
+    encoding::TransferResult result;
+
+    /** Pulses on the shared reset/skip wire (open + merged + close). */
+    std::uint64_t reset_flips = 0;
+
+    // Post-transfer bookkeeping of the last wave (skip modes), needed
+    // so a later ticked transfer resumes from identical state.
+    unsigned final_window = 0;      //!< window of the last wave
+    bool final_any_skipped = false; //!< last wave had silent wires
+    unsigned final_got_count = 0;   //!< strobed wires in the last wave
+
+    std::vector<std::uint8_t> strobe_odd;  //!< per wire: strobes mod 2
+    std::vector<std::uint8_t> final_got;   //!< per wire: strobed in last wave
+    std::vector<std::uint8_t> final_skipv; //!< per wire: last-wave skip value
+    std::vector<std::uint8_t> final_vals;  //!< per wire: last-wave chunk value
+    std::vector<unsigned> final_elapsed;   //!< per wire: idle cycles after
+                                           //!< the last strobe (basic mode)
+};
+
+} // namespace desc::core
+
+#endif // DESC_CORE_FASTFORWARD_HH

@@ -1,19 +1,93 @@
 #include "core/link.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "common/contract.hh"
+#include "common/log.hh"
 #include "common/trace.hh"
 
 namespace desc::core {
 
+LinkMode
+defaultLinkMode()
+{
+    static const LinkMode mode = [] {
+        const char *env = std::getenv("DESC_LINK_MODE");
+        if (!env || !*env || !std::strcmp(env, "auto"))
+            return LinkMode::Auto;
+        if (!std::strcmp(env, "ticked"))
+            return LinkMode::Ticked;
+        if (!std::strcmp(env, "fast"))
+            return LinkMode::Fast;
+        warnOnce("desc-link-mode",
+                 std::string("DESC_LINK_MODE=") + env
+                     + " not recognized (auto|ticked|fast); using auto");
+        return LinkMode::Auto;
+    }();
+    return mode;
+}
+
 DescLink::DescLink(const DescConfig &cfg)
     : _cfg(cfg), _tx(cfg), _rx(cfg), _cur(cfg.activeWires()),
-      _prev(cfg.activeWires())
+      _prev(cfg.activeWires()), _plan(cfg.activeWires()),
+      _mode(defaultLinkMode())
 {
+}
+
+bool
+DescLink::wantFastPath() const
+{
+    // Fault injectors, wire observers (VCD export), and the link trace
+    // channel all need to see the individual cycles; the fast path
+    // would change their output, so it is never taken behind them.
+    bool watched = _fault || _observer
+        || trace::enabled(trace::Channel::Link);
+    switch (_mode) {
+      case LinkMode::Ticked:
+        return false;
+      case LinkMode::Auto:
+        return !watched;
+      case LinkMode::Fast:
+        if (watched) {
+            warnOnce("desc-link-forced-fast",
+                     "DESC_LINK_MODE=fast ignored: a fault hook, wire "
+                     "observer, or link trace needs cycle-accurate "
+                     "transfers; using the ticked loop");
+            return false;
+        }
+        return true;
+    }
+    DESC_PANIC("bad link mode");
+}
+
+encoding::TransferResult
+DescLink::fastTransfer(const BitVec &block, BitVec *received)
+{
+    _tx.fastForwardBlock(block, _plan);
+    // The receiver ends in the state observing every cycle would have
+    // produced; toggle signaling is lossless here (ideal wires, no
+    // fault hook), so the recovered block is the input block.
+    _rx.fastForwardBlock(block, _tx.wires(), _plan);
+
+    _cycle += _plan.result.cycles;
+    // Keep the transition reference coherent for a later ticked
+    // transfer on this link.
+    _prev = _tx.wires();
+
+    if (received)
+        *received = block;
+    _rx.discardBlock();
+    return _plan.result;
 }
 
 encoding::TransferResult
 DescLink::transferBlock(const BitVec &block, BitVec *received)
 {
+    _used_fast = wantFastPath();
+    if (_used_fast)
+        return fastTransfer(block, received);
+
     encoding::TransferResult result;
     _tx.loadBlock(block);
 
@@ -57,9 +131,10 @@ DescLink::transferBlock(const BitVec &block, BitVec *received)
                      " data + ", result.control_flips,
                      " ctrl flips, ", result.skipped,
                      " skipped chunks (", skipModeName(_cfg.skip), ")");
-    BitVec out = _rx.takeBlock();
     if (received)
-        *received = out;
+        *received = _rx.takeBlock();
+    else
+        _rx.discardBlock();
     return result;
 }
 
@@ -71,6 +146,7 @@ DescLink::reset()
     _cur.clear();
     _prev.clear();
     _cycle = 0;
+    _used_fast = false;
 }
 
 } // namespace desc::core

@@ -1,0 +1,31 @@
+#include "core/linkscheme.hh"
+
+#include "common/contract.hh"
+
+namespace desc::core {
+
+LinkDescScheme::LinkDescScheme(const DescConfig &cfg)
+    : _cfg(cfg), _link(cfg)
+{
+    _cfg.validate();
+}
+
+const char *
+LinkDescScheme::name() const
+{
+    // Same display names as DescScheme: reports must not depend on
+    // whether a bank is behaviorally modeled or link-backed.
+    switch (_cfg.skip) {
+      case SkipMode::None:
+        return "Basic DESC";
+      case SkipMode::Zero:
+        return "Zero Skipped DESC";
+      case SkipMode::LastValue:
+        return "Last Value Skipped DESC";
+      case SkipMode::Adaptive:
+        return "Adaptive Skipped DESC";
+    }
+    DESC_PANIC("bad skip mode");
+}
+
+} // namespace desc::core

@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "common/bitvec.hh"
+#include "common/contract.hh"
 #include "core/config.hh"
 #include "core/adaptive.hh"
+#include "core/fastforward.hh"
 #include "core/toggle.hh"
 #include "core/wires.hh"
 
@@ -32,14 +34,39 @@ class DescReceiver
     /** Sample the wire levels of one clock cycle. */
     void observe(const WireBundle &wires);
 
+    /**
+     * Accept @p block in closed form (link fast path): leave the
+     * receiver in exactly the state observing the whole transfer would
+     * have produced. @p final_levels are the transmitter's post-block
+     * wire levels (the detectors' new delayed copies) and @p plan the
+     * summary the transmitter computed. @pre !blockReady().
+     */
+    void fastForwardBlock(const BitVec &block,
+                          const WireBundle &final_levels,
+                          const FastForwardPlan &plan);
+
     /** True once a complete block has been recovered. */
     bool blockReady() const { return _ready; }
 
     /** Take the recovered block; clears blockReady(). */
     BitVec takeBlock();
 
+    /**
+     * Drop the recovered block without materializing it; clears
+     * blockReady() just like takeBlock().
+     */
+    void
+    discardBlock()
+    {
+        DESC_ASSERT(_ready, "discardBlock with no block ready");
+        _ready = false;
+    }
+
     /** The receiver's last-value skip table (mirrors the TX). */
     const std::vector<std::uint8_t> &lastValues() const { return _last; }
+
+    /** The frequent-value tracker driving adaptive skipping. */
+    const AdaptiveTracker &adaptive() const { return _adaptive; }
 
     void reset();
 

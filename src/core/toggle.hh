@@ -23,6 +23,17 @@ class ToggleGenerator
     /** Invert the driven level (send one strobe). */
     void fire() { _level = !_level; }
 
+    /**
+     * Apply @p fires strobes at once: the level a ticked sequence of
+     * that many fire() calls would leave behind (link fast path).
+     */
+    void
+    fastForward(std::uint64_t fires)
+    {
+        if (fires & 1)
+            _level = !_level;
+    }
+
     bool level() const { return _level; }
     void reset() { _level = false; }
 
@@ -45,6 +56,12 @@ class ToggleDetector
         _prev = level;
         return toggled;
     }
+
+    /**
+     * Jump the delayed copy straight to @p level, as if every
+     * intermediate cycle had been sampled (link fast path).
+     */
+    void prime(bool level) { _prev = level; }
 
     void reset() { _prev = false; }
 

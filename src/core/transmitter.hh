@@ -28,6 +28,7 @@
 #include "common/bitvec.hh"
 #include "core/config.hh"
 #include "core/adaptive.hh"
+#include "core/fastforward.hh"
 #include "core/fifo.hh"
 #include "core/toggle.hh"
 #include "core/wires.hh"
@@ -48,11 +49,23 @@ class DescTransmitter
     /** Advance one clock cycle, updating the driven wire levels. */
     void tick();
 
+    /**
+     * Transmit @p block in closed form: fill @p plan with the transfer
+     * outcome and leave the transmitter in exactly the state a
+     * loadBlock() followed by ticks to completion would have produced
+     * (wire levels, last-value table, adaptive counters, wave
+     * bookkeeping, trace clock). @pre !busy(); never allocates.
+     */
+    void fastForwardBlock(const BitVec &block, FastForwardPlan &plan);
+
     /** Wire levels after the latest tick. */
     const WireBundle &wires() const { return _wires; }
 
     /** Last value transmitted per wire (the last-value skip table). */
     const std::vector<std::uint8_t> &lastValues() const { return _last; }
+
+    /** The frequent-value tracker driving adaptive skipping. */
+    const AdaptiveTracker &adaptive() const { return _adaptive; }
 
     /** Return all wires and internal state to idle. */
     void reset();

@@ -66,6 +66,9 @@ void
 DramSystem::access(Addr addr, bool is_write, DoneFn done)
 {
     unsigned ch = channelOf(addr);
+    Bank &bank = _channels[ch].banks[bankOf(addr)];
+    if (bank.open_row == rowOf(addr))
+        bank.queued_hits++;
     _channels[ch].queue.push_back(
         Request{addr, is_write, _eq.now(), std::move(done)});
     trySchedule(ch);
@@ -79,24 +82,44 @@ DramSystem::trySchedule(unsigned ch_idx)
         return;
 
     // FR-FCFS: the oldest row-buffer hit wins; otherwise the oldest
-    // request overall.
+    // request overall. The per-bank queued_hits index tells in O(banks)
+    // whether any ready row hit can exist; only then is the queue
+    // scanned, so the hitless worst case no longer walks every entry.
     std::size_t pick = 0;
     bool found_hit = false;
-    for (std::size_t i = 0; i < ch.queue.size(); i++) {
-        const Request &r = ch.queue[i];
-        const Bank &bank = ch.banks[bankOf(r.addr)];
-        if (bank.open_row == rowOf(r.addr) && bank.ready_at <= _eq.now()) {
-            pick = i;
-            found_hit = true;
+    bool maybe_hit = false;
+    for (const Bank &b : ch.banks) {
+        if (b.queued_hits > 0 && b.ready_at <= _eq.now()) {
+            maybe_hit = true;
             break;
         }
+    }
+    if (maybe_hit) {
+        for (std::size_t i = 0; i < ch.queue.size(); i++) {
+            const Request &r = ch.queue[i];
+            const Bank &bank = ch.banks[bankOf(r.addr)];
+            if (bank.open_row == rowOf(r.addr)
+                && bank.ready_at <= _eq.now()) {
+                pick = i;
+                found_hit = true;
+                break;
+            }
+        }
+        DESC_DCHECK(found_hit, "queued_hits index promised a ready row "
+                    "hit the queue scan did not find");
     }
 
     Request req = std::move(ch.queue[pick]);
     ch.queue.erase(ch.queue.begin() + pick);
 
-    Bank &bank = ch.banks[bankOf(req.addr)];
+    const unsigned bank_idx = bankOf(req.addr);
+    Bank &bank = ch.banks[bank_idx];
     bool row_hit = bank.open_row == rowOf(req.addr);
+    if (row_hit) {
+        DESC_DCHECK(bank.queued_hits >= 1,
+                    "issuing a row hit the index did not count");
+        bank.queued_hits--;
+    }
     (void)found_hit;
 
     unsigned prep_mem = row_hit ? 0 : _cfg.tRP + _cfg.tRCD;
@@ -111,6 +134,16 @@ DramSystem::trySchedule(unsigned ch_idx)
                 " not after now ", _eq.now());
     bank.open_row = rowOf(req.addr);
     bank.ready_at = complete;
+    if (!row_hit) {
+        // The open row changed: recount this bank's queued hits.
+        bank.queued_hits = 0;
+        for (const Request &r : ch.queue) {
+            if (bankOf(r.addr) == bank_idx
+                && rowOf(r.addr) == bank.open_row) {
+                bank.queued_hits++;
+            }
+        }
+    }
     ch.data_bus_free = data_start + toCore(_cfg.tBurst);
     ch.in_flight++;
 

@@ -92,6 +92,14 @@ class DramSystem
     {
         Addr open_row = ~Addr{0};
         Cycle ready_at = 0;
+
+        /**
+         * Queued requests targeting this bank's open row. Maintained
+         * on enqueue/issue (recounted when the open row changes, which
+         * a tRP+tRCD precharge amortizes) so the FR-FCFS scheduler can
+         * skip scanning the queue when no row hit can exist.
+         */
+        unsigned queued_hits = 0;
     };
 
     struct Channel

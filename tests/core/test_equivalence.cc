@@ -66,6 +66,7 @@ TEST_P(DescEquivalence, BehavioralMatchesCycleAccurate)
 {
     DescConfig cfg = config();
     DescLink link(cfg);
+    link.setMode(LinkMode::Ticked); // validate against the reference loop
     DescScheme scheme(cfg);
     Rng rng(0xec0de + cfg.bus_wires * 31 + cfg.chunk_bits);
 
@@ -95,6 +96,7 @@ TEST_P(DescEquivalence, RandomizedDifferential)
     // reported statistic.
     DescConfig cfg = config();
     DescLink link(cfg);
+    link.setMode(LinkMode::Ticked); // validate against the reference loop
     DescScheme scheme(cfg);
     Rng rng(0xd1ff + cfg.bus_wires * 131 + cfg.chunk_bits * 7
             + unsigned(cfg.skip));
@@ -133,6 +135,7 @@ TEST_P(DescEquivalence, AllZeroAndAllOnesBlocks)
 {
     DescConfig cfg = config();
     DescLink link(cfg);
+    link.setMode(LinkMode::Ticked); // validate against the reference loop
     DescScheme scheme(cfg);
 
     BitVec zeros(kBlockBits);
@@ -147,6 +150,52 @@ TEST_P(DescEquivalence, AllZeroAndAllOnesBlocks)
         EXPECT_EQ(model.cycles, hw.cycles);
         EXPECT_EQ(model.data_flips, hw.data_flips);
         EXPECT_EQ(model.control_flips, hw.control_flips);
+    }
+}
+
+TEST_P(DescEquivalence, AdaptiveCountersSurviveLongStreams)
+{
+    // The adaptive skip value is pure history: transmitter and
+    // receiver counters must track each other — and the closed-form
+    // fast path must track the ticked loop — across a long run of
+    // consecutive blocks, because one divergent count eventually flips
+    // a best-value decision and corrupts every later transfer.
+    DescConfig cfg = config();
+    if (cfg.skip != SkipMode::Adaptive)
+        GTEST_SKIP() << "adaptive-mode-only property";
+
+    DescLink fast(cfg);
+    DescLink ticked(cfg);
+    fast.setMode(LinkMode::Fast);
+    ticked.setMode(LinkMode::Ticked);
+    Rng rng(0xadab + cfg.bus_wires * 3 + cfg.chunk_bits);
+
+    BitVec prev(kBlockBits);
+    for (int i = 0; i < 120; i++) {
+        // Shift the distribution mid-stream so the trackers decay and
+        // re-learn different frequent values.
+        double zero_p = i < 60 ? 0.6 : 0.05;
+        double repeat_p = i < 60 ? 0.1 : 0.6;
+        BitVec block = biasedBlock(rng, prev, cfg.chunk_bits, zero_p,
+                                   repeat_p);
+        prev = block;
+
+        BitVec recv_f, recv_t;
+        auto rf = fast.transferBlock(block, &recv_f);
+        auto rt = ticked.transferBlock(block, &recv_t);
+
+        ASSERT_EQ(recv_t, block) << "block " << i;
+        ASSERT_EQ(recv_f, recv_t) << "block " << i;
+        ASSERT_EQ(rf.cycles, rt.cycles) << "block " << i;
+        ASSERT_EQ(rf.data_flips, rt.data_flips) << "block " << i;
+        ASSERT_EQ(rf.control_flips, rt.control_flips) << "block " << i;
+        ASSERT_EQ(rf.skipped, rt.skipped) << "block " << i;
+        ASSERT_TRUE(fast.tx().adaptive() == ticked.tx().adaptive())
+            << "tx adaptive counters diverged at block " << i;
+        ASSERT_TRUE(fast.rx().adaptive() == ticked.rx().adaptive())
+            << "rx adaptive counters diverged at block " << i;
+        ASSERT_TRUE(fast.tx().adaptive() == fast.rx().adaptive())
+            << "tx/rx adaptive counters diverged at block " << i;
     }
 }
 

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Differential suite for the DESC link fast path (DESIGN.md §10).
+ *
+ * Two links fed the same block stream — one pinned to the closed-form
+ * fast path, one to the ticked reference loop — must agree bit-exactly
+ * on every TransferResult field, every received block, and all
+ * persistent endpoint state (wire levels, last-value tables, adaptive
+ * counters). The suite also pins the automatic path selection: hooks
+ * and the link trace channel force the ticked loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hh"
+#include "common/trace.hh"
+#include "core/link.hh"
+#include "ecc/blockcodec.hh"
+
+using namespace desc;
+using namespace desc::core;
+
+namespace {
+
+/** (wires, chunk_bits, skip mode) */
+using Param = std::tuple<unsigned, unsigned, SkipMode>;
+
+BitVec
+biasedBlock(Rng &rng, const BitVec &prev, unsigned chunk_bits,
+            double zero_p, double repeat_p)
+{
+    BitVec block(prev.width());
+    for (unsigned pos = 0; pos < block.width(); pos += chunk_bits) {
+        double u = rng.uniform();
+        std::uint64_t v;
+        if (u < zero_p)
+            v = 0;
+        else if (u < zero_p + repeat_p)
+            v = prev.field(pos, chunk_bits);
+        else
+            v = rng.below(std::uint64_t{1} << chunk_bits);
+        block.setField(pos, chunk_bits, v);
+    }
+    return block;
+}
+
+/**
+ * Require the two links to be in indistinguishable persistent state:
+ * everything that can influence a future transfer or a caller.
+ */
+void
+expectSameState(DescLink &fast, DescLink &ticked, int block_no)
+{
+    EXPECT_EQ(fast.tx().wires().data, ticked.tx().wires().data)
+        << "tx data levels, block " << block_no;
+    EXPECT_EQ(fast.tx().wires().reset_skip, ticked.tx().wires().reset_skip)
+        << "tx reset level, block " << block_no;
+    EXPECT_EQ(fast.tx().wires().sync, ticked.tx().wires().sync)
+        << "tx sync level, block " << block_no;
+    EXPECT_EQ(fast.tx().lastValues(), ticked.tx().lastValues())
+        << "tx last-value table, block " << block_no;
+    EXPECT_EQ(fast.rx().lastValues(), ticked.rx().lastValues())
+        << "rx last-value table, block " << block_no;
+    EXPECT_TRUE(fast.tx().adaptive() == ticked.tx().adaptive())
+        << "tx adaptive counters, block " << block_no;
+    EXPECT_TRUE(fast.rx().adaptive() == ticked.rx().adaptive())
+        << "rx adaptive counters, block " << block_no;
+}
+
+void
+expectSameResult(const encoding::TransferResult &f,
+                 const encoding::TransferResult &t, int block_no)
+{
+    ASSERT_EQ(f.cycles, t.cycles) << "block " << block_no;
+    ASSERT_EQ(f.data_flips, t.data_flips) << "block " << block_no;
+    ASSERT_EQ(f.control_flips, t.control_flips) << "block " << block_no;
+    ASSERT_EQ(f.skipped, t.skipped) << "block " << block_no;
+}
+
+} // namespace
+
+class LinkFastPath : public ::testing::TestWithParam<Param>
+{
+  protected:
+    DescConfig
+    config() const
+    {
+        auto [wires, chunk_bits, skip] = GetParam();
+        DescConfig c;
+        c.bus_wires = wires;
+        c.chunk_bits = chunk_bits;
+        c.block_bits = kBlockBits;
+        c.skip = skip;
+        return c;
+    }
+};
+
+TEST_P(LinkFastPath, BitIdenticalToTickedLoop)
+{
+    DescConfig cfg = config();
+    DescLink fast(cfg);
+    DescLink ticked(cfg);
+    fast.setMode(LinkMode::Fast);
+    ticked.setMode(LinkMode::Ticked);
+    Rng rng(0xfa57 + cfg.bus_wires * 131 + cfg.chunk_bits * 7
+            + unsigned(cfg.skip));
+
+    struct Dist
+    {
+        double zero_p;
+        double repeat_p;
+    };
+    // uniform, zero-rich, repeat-rich, and mixed traffic
+    const Dist dists[] = {{0.0, 0.0}, {0.7, 0.1}, {0.1, 0.7}, {0.4, 0.4}};
+
+    BitVec prev(kBlockBits);
+    int n = 0;
+    for (const Dist &d : dists) {
+        for (int i = 0; i < 25; i++, n++) {
+            BitVec block =
+                biasedBlock(rng, prev, cfg.chunk_bits, d.zero_p, d.repeat_p);
+            prev = block;
+
+            BitVec recv_f, recv_t;
+            auto rf = fast.transferBlock(block, &recv_f);
+            auto rt = ticked.transferBlock(block, &recv_t);
+            ASSERT_TRUE(fast.usedFastPath()) << "block " << n;
+            ASSERT_FALSE(ticked.usedFastPath()) << "block " << n;
+
+            ASSERT_EQ(recv_t, block) << "ticked round trip, block " << n;
+            ASSERT_EQ(recv_f, recv_t) << "received block, block " << n;
+            expectSameResult(rf, rt, n);
+            expectSameState(fast, ticked, n);
+        }
+    }
+}
+
+TEST_P(LinkFastPath, ExtremeBlocks)
+{
+    DescConfig cfg = config();
+    DescLink fast(cfg);
+    DescLink ticked(cfg);
+    fast.setMode(LinkMode::Fast);
+    ticked.setMode(LinkMode::Ticked);
+
+    BitVec zeros(kBlockBits);
+    BitVec ones(kBlockBits);
+    ones.invertRange(0, kBlockBits);
+
+    int n = 0;
+    for (const BitVec &block : {zeros, ones, zeros, zeros, ones}) {
+        BitVec recv_f, recv_t;
+        auto rf = fast.transferBlock(block, &recv_f);
+        auto rt = ticked.transferBlock(block, &recv_t);
+        ASSERT_EQ(recv_f, recv_t);
+        expectSameResult(rf, rt, n);
+        expectSameState(fast, ticked, n);
+        n++;
+    }
+}
+
+TEST_P(LinkFastPath, InterleavedPathsMatchPureTicked)
+{
+    // The fast path must leave both endpoints in the exact state the
+    // ticked loop produces, so a link that alternates between the two
+    // paths mid-stream must stay indistinguishable from one that ticks
+    // every block.
+    DescConfig cfg = config();
+    DescLink mixed(cfg);
+    DescLink ticked(cfg);
+    ticked.setMode(LinkMode::Ticked);
+    Rng rng(0x1237 + cfg.bus_wires + cfg.chunk_bits);
+
+    BitVec prev(kBlockBits);
+    for (int i = 0; i < 60; i++) {
+        BitVec block = biasedBlock(rng, prev, cfg.chunk_bits, 0.4, 0.3);
+        prev = block;
+
+        mixed.setMode((i % 3 == 1) ? LinkMode::Ticked : LinkMode::Fast);
+        BitVec recv_m, recv_t;
+        auto rm = mixed.transferBlock(block, &recv_m);
+        auto rt = ticked.transferBlock(block, &recv_t);
+        ASSERT_EQ(mixed.usedFastPath(), i % 3 != 1);
+
+        ASSERT_EQ(recv_m, recv_t) << "received block, block " << i;
+        expectSameResult(rm, rt, i);
+        expectSameState(mixed, ticked, i);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, LinkFastPath,
+    ::testing::Combine(
+        ::testing::Values(16u, 32u, 64u, 128u, 256u),
+        ::testing::Values(1u, 2u, 4u, 8u),
+        ::testing::Values(SkipMode::None, SkipMode::Zero,
+                          SkipMode::LastValue, SkipMode::Adaptive)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        unsigned wires = std::get<0>(info.param);
+        unsigned bits = std::get<1>(info.param);
+        std::string name = "w" + std::to_string(wires) + "_c"
+            + std::to_string(bits) + "_";
+        switch (std::get<2>(info.param)) {
+          case SkipMode::None:
+            name += "basic";
+            break;
+          case SkipMode::Zero:
+            name += "zero";
+            break;
+          case SkipMode::LastValue:
+            name += "last";
+            break;
+          case SkipMode::Adaptive:
+            name += "adaptive";
+            break;
+        }
+        return name;
+    });
+
+TEST(LinkFastPathEcc, EccLayoutsMatchTicked)
+{
+    // The ECC bus layouts of Figure 9: the (137,128) and (72,64) codes
+    // widen the bus by the parity chunks, giving non-power-of-two wire
+    // counts and block widths. Stream codec-encoded blocks through
+    // both paths.
+    for (unsigned seg_bits : {128u, 64u}) {
+        ecc::BlockCodec codec(kBlockBits, seg_bits);
+        ASSERT_EQ(codec.totalParityBits() % 4, 0u);
+
+        DescConfig cfg;
+        cfg.chunk_bits = 4;
+        cfg.block_bits = codec.busBits();
+        cfg.bus_wires = 128 + codec.totalParityBits() / 4;
+        cfg.skip = SkipMode::Zero;
+
+        DescLink fast(cfg);
+        DescLink ticked(cfg);
+        fast.setMode(LinkMode::Fast);
+        ticked.setMode(LinkMode::Ticked);
+        Rng rng(0xecc0 + seg_bits);
+
+        BitVec prev(kBlockBits);
+        BitVec bus;
+        for (int i = 0; i < 30; i++) {
+            BitVec payload = biasedBlock(rng, prev, 4, 0.5, 0.2);
+            prev = payload;
+            codec.encodeInto(payload, bus);
+
+            BitVec recv_f, recv_t;
+            auto rf = fast.transferBlock(bus, &recv_f);
+            auto rt = ticked.transferBlock(bus, &recv_t);
+            ASSERT_EQ(recv_f, recv_t) << "seg " << seg_bits << " block " << i;
+            ASSERT_EQ(recv_t, bus);
+            expectSameResult(rf, rt, i);
+            expectSameState(fast, ticked, i);
+        }
+    }
+}
+
+TEST(LinkFastPathSelect, AutoUsesFastPathWhenUnobserved)
+{
+    DescConfig cfg;
+    DescLink link(cfg);
+    link.setMode(LinkMode::Auto);
+    BitVec block(cfg.block_bits);
+    link.transferBlock(block);
+    EXPECT_TRUE(link.usedFastPath());
+}
+
+TEST(LinkFastPathSelect, WireHookForcesTickedLoop)
+{
+    DescConfig cfg;
+    DescLink link(cfg);
+    link.setMode(LinkMode::Auto);
+    unsigned observed = 0;
+    link.setWireHook([&](Cycle, const WireBundle &) { observed++; });
+    BitVec block(cfg.block_bits);
+    auto r = link.transferBlock(block);
+    EXPECT_FALSE(link.usedFastPath());
+    EXPECT_EQ(observed, r.cycles);
+}
+
+TEST(LinkFastPathSelect, FaultHookForcesTickedLoop)
+{
+    DescConfig cfg;
+    DescLink link(cfg);
+    link.setMode(LinkMode::Auto);
+    unsigned observed = 0;
+    link.setFaultHook([&](Cycle, WireBundle &) { observed++; });
+    BitVec block(cfg.block_bits);
+    auto r = link.transferBlock(block);
+    EXPECT_FALSE(link.usedFastPath());
+    EXPECT_EQ(observed, r.cycles);
+}
+
+TEST(LinkFastPathSelect, ForcedFastStillTicksBehindHooks)
+{
+    // VCD export and fault injection must see real cycles even when
+    // the environment forces the fast mode; the link warns and ticks.
+    DescConfig cfg;
+    DescLink link(cfg);
+    link.setMode(LinkMode::Fast);
+    unsigned observed = 0;
+    link.setWireHook([&](Cycle, const WireBundle &) { observed++; });
+    BitVec block(cfg.block_bits);
+    auto r = link.transferBlock(block);
+    EXPECT_FALSE(link.usedFastPath());
+    EXPECT_EQ(observed, r.cycles);
+}
+
+TEST(LinkFastPathSelect, LinkTraceChannelForcesTickedLoop)
+{
+    DescConfig cfg;
+    DescLink link(cfg);
+    link.setMode(LinkMode::Auto);
+    BitVec block(cfg.block_bits);
+
+    const std::uint32_t saved_mask = trace::mask();
+    trace::setMask(1u << unsigned(trace::Channel::Link));
+    link.transferBlock(block);
+    bool fast_while_traced = link.usedFastPath();
+    trace::setMask(saved_mask);
+    EXPECT_FALSE(fast_while_traced);
+
+    link.transferBlock(block);
+    EXPECT_TRUE(link.usedFastPath());
+}
+
+TEST(LinkFastPathSelect, NullReceivedPointerWorksOnBothPaths)
+{
+    DescConfig cfg;
+    cfg.skip = SkipMode::LastValue;
+    DescLink fast(cfg);
+    DescLink ticked(cfg);
+    fast.setMode(LinkMode::Fast);
+    ticked.setMode(LinkMode::Ticked);
+    Rng rng(42);
+
+    BitVec prev(cfg.block_bits);
+    for (int i = 0; i < 10; i++) {
+        BitVec block = biasedBlock(rng, prev, cfg.chunk_bits, 0.3, 0.3);
+        prev = block;
+        auto rf = fast.transferBlock(block); // received == nullptr
+        auto rt = ticked.transferBlock(block);
+        expectSameResult(rf, rt, i);
+        expectSameState(fast, ticked, i);
+    }
+}

@@ -41,6 +41,13 @@ HOT_PATH_FILES = [
     "src/common/bitvec.hh",
     "src/core/chunk.cc",
     "src/core/descscheme.cc",
+    # The link fast path and its endpoints: one plan preallocated per
+    # link, closed-form transfers must stay allocation-free.
+    "src/core/fastforward.hh",
+    "src/core/link.cc",
+    "src/core/linkscheme.cc",
+    "src/core/transmitter.cc",
+    "src/core/receiver.cc",
 ]
 
 SRC_EXTENSIONS = {".cc", ".hh"}
@@ -342,6 +349,7 @@ def lint(root, subdir="src"):
 FIXTURE_EXPECT = {
     "fixtures/bad/hotpath.hh": {
         "hot-path-alloc", "include-guard", "contract-include"},
+    "fixtures/bad/fastpath.cc": {"hot-path-alloc"},
     "fixtures/bad/stats_use.cc": {"stat-description"},
     "fixtures/bad/tracing.cc": {"trace-channel"},
     "fixtures/bad/entropy.cc": {"determinism", "test-include"},
@@ -351,6 +359,12 @@ FIXTURE_EXPECT = {
 
 def self_test(tool_root, repo_root):
     ok = True
+    # The allocation ban is only as good as its file list: a hot-path
+    # file that was renamed or deleted would silently drop coverage.
+    for rel in HOT_PATH_FILES:
+        if not (repo_root / rel).is_file():
+            print(f"self-test: HOT_PATH_FILES entry missing on disk: {rel}")
+            ok = False
     findings = []
     sources = []
     for rel in FIXTURE_EXPECT:
