@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/prof.hh"
 #include "common/rng.hh"
 #include "core/chunk.hh"
 #include "core/descscheme.hh"
@@ -180,12 +181,19 @@ benchChunkStats(std::uint64_t blocks_n)
     return double(blocks_n) / dt;
 }
 
-double
-benchRunSystem(std::uint64_t insts, unsigned reps, std::uint64_t *cycles)
+sim::SystemConfig
+benchSystemConfig(std::uint64_t insts)
 {
     auto cfg = sim::baselineConfig(workloads::parallelApps()[0]);
     cfg.insts_per_thread = insts;
     sim::applyScheme(cfg, encoding::SchemeKind::DescZeroSkip);
+    return cfg;
+}
+
+double
+benchRunSystem(std::uint64_t insts, unsigned reps, std::uint64_t *cycles)
+{
+    auto cfg = benchSystemConfig(insts);
 
     double best = 0.0;
     for (unsigned r = 0; r < reps; r++) {
@@ -197,6 +205,46 @@ benchRunSystem(std::uint64_t insts, unsigned reps, std::uint64_t *cycles)
             best = rate;
     }
     return best;
+}
+
+/**
+ * Cost of the profiler when it is OFF, as a percentage of a
+ * runsystem execution: (scopes per run) x (ns per disabled scope)
+ * against the disabled run's wall time. The acceptance contract is
+ * < 1%; CI fails the gate above 5%.
+ */
+double
+benchProfOverheadPct(std::uint64_t insts, double disabled_rate,
+                     std::uint64_t cycles, bool quick)
+{
+    // Nanoseconds per disabled scope. The barrier keeps the compiler
+    // from hoisting the enabled() load (and with it the whole scope)
+    // out of the loop.
+    const std::uint64_t iters = quick ? 5'000'000 : 50'000'000;
+    prof::setEnabled(false);
+    auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; i++) {
+        DESC_PROF_SCOPE(Encoder);
+        asm volatile("" ::: "memory");
+    }
+    double ns_per_scope = secondsSince(t0) * 1e9 / double(iters);
+
+    // Scopes executed by one runsystem workload, counted live.
+    auto cfg = benchSystemConfig(insts);
+    prof::setEnabled(true);
+    prof::Profile base = prof::threadProfile();
+    auto result = sim::runSystem(cfg);
+    std::uint64_t scopes = prof::deltaSince(base).scopes();
+    prof::setEnabled(false);
+    if (result.cycles != cycles)
+        std::fprintf(stderr,
+                     "warning: profiled run diverged (%llu vs %llu "
+                     "cycles)\n",
+                     (unsigned long long)result.cycles,
+                     (unsigned long long)cycles);
+
+    double run_seconds = double(cycles) / disabled_rate;
+    return 100.0 * double(scopes) * ns_per_scope / 1e9 / run_seconds;
 }
 
 } // namespace
@@ -233,6 +281,9 @@ main(int argc, char **argv)
     double rs = benchRunSystem(insts, reps, &cycles);
     std::fprintf(stderr, "runsystem: %12.0f sim-cycles/sec (%llu cycles)\n",
                  rs, (unsigned long long)cycles);
+    double prof_pct = benchProfOverheadPct(insts, rs, cycles, quick);
+    std::fprintf(stderr, "prof-off:  %12.3f %% of a runsystem run\n",
+                 prof_pct);
 
     std::FILE *f = std::fopen(out.c_str(), "w");
     if (!f) {
@@ -250,12 +301,13 @@ main(int argc, char **argv)
         "    \"link_ticked_blocks_per_sec\": %.0f,\n"
         "    \"scheme_blocks_per_sec\": %.0f,\n"
         "    \"chunkstats_blocks_per_sec\": %.0f,\n"
-        "    \"runsystem_cycles_per_sec\": %.0f\n"
+        "    \"runsystem_cycles_per_sec\": %.0f,\n"
+        "    \"runsystem_prof_overhead_pct\": %.3f\n"
         "  },\n"
         "  \"check\": { \"runsystem_cycles\": %llu }\n"
         "}\n",
         quick ? "true" : "false", ev, link, link_ticked, scheme, cstats,
-        rs, (unsigned long long)cycles);
+        rs, prof_pct, (unsigned long long)cycles);
     std::fclose(f);
     return 0;
 }

@@ -1,6 +1,7 @@
 #include "cache/hierarchy.hh"
 
 #include "common/contract.hh"
+#include "common/prof.hh"
 #include "common/trace.hh"
 #include "core/factory.hh"
 
@@ -117,7 +118,12 @@ MemHierarchy::transfer(unsigned bank_idx, const Block512 &data,
         _chunk_stats.observe(_scratch_raw);
 
     auto &scheme = write_dir ? *bank.write_scheme : *bank.read_scheme;
-    auto r = scheme.transfer(*word);
+    encoding::TransferResult r;
+    {
+        DESC_PROF_SCOPE(Encoder);
+        r = scheme.transfer(*word);
+    }
+    DESC_PROF_CYCLES(Encoder, r.cycles);
 
     Cycle window = r.cycles
         + (_cfg.isDesc() ? _cfg.desc_interface_delay : 0);
@@ -301,6 +307,7 @@ MemHierarchy::acquireResponse()
 void
 MemHierarchy::accessEvent(AccessEvent &ev)
 {
+    DESC_PROF_SCOPE(CacheRequest);
     const Addr ba = ev.ba;
     const Cycle t0 = ev.t0;
     MshrEntry::Waiter w = std::move(ev.w);
@@ -312,6 +319,7 @@ MemHierarchy::accessEvent(AccessEvent &ev)
 void
 MemHierarchy::tagProbe(TagProbeEvent &ev)
 {
+    DESC_PROF_SCOPE(CacheMiss);
     const Addr addr = ev.addr;
     _tag_free.push_back(&ev);
     _dram.access(addr, false, [this, addr]() { finishMiss(addr); });
@@ -320,6 +328,7 @@ MemHierarchy::tagProbe(TagProbeEvent &ev)
 void
 MemHierarchy::respond(ResponseEvent &ev)
 {
+    DESC_PROF_SCOPE(CacheRespond);
     if (ev.sample_hit)
         _stats.hit_latency.sample(double(_eq.now() - ev.t0));
     auto *line = _l2.lookup(ev.addr);
@@ -439,6 +448,7 @@ MemHierarchy::startMiss(Addr addr, Cycle t0, MshrEntry::Waiter w)
 void
 MemHierarchy::finishMiss(Addr addr)
 {
+    DESC_PROF_SCOPE(CacheMiss);
     const Block512 &mem = _backing.fetch(addr);
 
     // Prefer victims without live L1 copies: evicting an L1-resident
@@ -509,6 +519,7 @@ std::optional<Cycle>
 MemHierarchy::access(unsigned core, Addr addr, bool is_write,
                      std::uint64_t store_value, bool ifetch, DoneFn done)
 {
+    DESC_PROF_SCOPE(CacheAccess);
     DESC_ASSERT(core < _l1d.size(), "core id out of range");
     DESC_ASSERT(!(ifetch && is_write), "cannot write instructions");
 

@@ -5,6 +5,7 @@
 
 #include "common/contract.hh"
 #include "common/log.hh"
+#include "common/prof.hh"
 #include "common/trace.hh"
 
 namespace desc::core {
@@ -64,6 +65,7 @@ DescLink::wantFastPath() const
 encoding::TransferResult
 DescLink::fastTransfer(const BitVec &block, BitVec *received)
 {
+    DESC_PROF_SCOPE(LinkFast);
     _tx.fastForwardBlock(block, _plan);
     // The receiver ends in the state observing every cycle would have
     // produced; toggle signaling is lossless here (ideal wires, no
@@ -71,6 +73,7 @@ DescLink::fastTransfer(const BitVec &block, BitVec *received)
     _rx.fastForwardBlock(block, _tx.wires(), _plan);
 
     _cycle += _plan.result.cycles;
+    DESC_PROF_CYCLES(LinkFast, _plan.result.cycles);
     // Keep the transition reference coherent for a later ticked
     // transfer on this link.
     _prev = _tx.wires();
@@ -88,6 +91,7 @@ DescLink::transferBlock(const BitVec &block, BitVec *received)
     if (_used_fast)
         return fastTransfer(block, received);
 
+    DESC_PROF_SCOPE(LinkTicked);
     encoding::TransferResult result;
     _tx.loadBlock(block);
 
@@ -125,6 +129,7 @@ DescLink::transferBlock(const BitVec &block, BitVec *received)
     }
 
     DESC_ASSERT(_rx.blockReady(), "receiver incomplete after transfer");
+    DESC_PROF_CYCLES(LinkTicked, result.cycles);
     result.skipped = _cfg.numChunks() - result.data_flips;
     DESC_TRACE_EVENT(Link, _cycle, "block transferred: ",
                      result.cycles, " cycles, ", result.data_flips,

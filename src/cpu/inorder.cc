@@ -1,6 +1,7 @@
 #include "cpu/inorder.hh"
 
 #include "common/contract.hh"
+#include "common/prof.hh"
 
 namespace desc::cpu {
 
@@ -42,6 +43,7 @@ InOrderCore::scheduleDispatch(Cycle when)
 void
 InOrderCore::threadEvent(ThreadEvent &ev)
 {
+    DESC_PROF_SCOPE(CpuInorder);
     const unsigned tid = ev.tid;
     if (ev.kind == ThreadEvent::Kind::ExecMem) {
         auto lat = _mem.access(
@@ -72,6 +74,7 @@ InOrderCore::onMemDone(unsigned tid)
 void
 InOrderCore::dispatch()
 {
+    DESC_PROF_SCOPE(CpuInorder);
     if (_ready.empty())
         return; // all contexts blocked; a completion will wake us
 

@@ -1,6 +1,7 @@
 #include "cpu/ooo.hh"
 
 #include "common/contract.hh"
+#include "common/prof.hh"
 
 namespace desc::cpu {
 
@@ -44,6 +45,7 @@ OooCore::acquireExec()
 void
 OooCore::execEvent(ExecEvent &ev)
 {
+    DESC_PROF_SCOPE(CpuOoo);
     const MemOp op = ev.op;
     const std::uint64_t inst_no = ev.inst_no;
     _exec_free.push_back(&ev);
@@ -86,6 +88,7 @@ OooCore::onLoadDone()
 void
 OooCore::dispatch()
 {
+    DESC_PROF_SCOPE(CpuOoo);
     if (_finished)
         return;
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contract.hh"
+#include "common/prof.hh"
 #include "common/trace.hh"
 
 namespace desc::dram {
@@ -65,6 +66,7 @@ DramSystem::rowHitLatency() const
 void
 DramSystem::access(Addr addr, bool is_write, DoneFn done)
 {
+    DESC_PROF_SCOPE(Dram);
     unsigned ch = channelOf(addr);
     Bank &bank = _channels[ch].banks[bankOf(addr)];
     if (bank.open_row == rowOf(addr))
@@ -188,6 +190,7 @@ DramSystem::acquireCompletion()
 void
 DramSystem::complete(CompletionEvent &ev)
 {
+    DESC_PROF_SCOPE(Dram);
     const unsigned ch_idx = ev.ch;
     DESC_DCHECK(_eq.now() >= ev.issued, "completion at ", _eq.now(),
                 " before issue at ", ev.issued);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/prof.hh"
 #include "common/trace.hh"
 #include "sim/statdump.hh"
 
@@ -609,8 +610,27 @@ runAppCached(const SystemConfig &scaled_cfg)
 
     DESC_TRACE_HOST(Runner, "cache miss: ", runTag(scaled_cfg, key),
                     ", simulating");
+    // Snapshot around the simulation so the delta isolates this run's
+    // host cost even when the worker thread executes many jobs.
+    const bool profiling = prof::enabled();
+    prof::Profile prof_base;
+    if (profiling)
+        prof_base = prof::threadProfile();
     AppRun run = runScaledApp(scaled_cfg);
     double seconds = elapsed();
+
+    prof::Profile prof_delta;
+    if (profiling) {
+        prof_delta = prof::deltaSince(prof_base);
+        char hash16[20];
+        std::snprintf(hash16, sizeof(hash16), "%016llx",
+                      (unsigned long long)key);
+        prof::noteRunProfile(
+            detail::concat(scaled_cfg.app.name, "/",
+                           shortSchemeName(scaled_cfg.l2.scheme), "#",
+                           hash16),
+            prof_delta);
+    }
 
     cache.store(key, run);
     {
@@ -623,7 +643,8 @@ runAppCached(const SystemConfig &scaled_cfg)
     }
     DESC_TRACE_HOST(Runner, "simulated ", runTag(scaled_cfg, key),
                     " in ", seconds, "s");
-    recordRunStats(scaled_cfg, run, key);
+    recordRunStats(scaled_cfg, run, key,
+                   profiling ? &prof_delta : nullptr);
     emitManifestLine(scaled_cfg, run, key, false, seconds);
     return run;
 }

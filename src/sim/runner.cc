@@ -8,6 +8,7 @@
 
 #include "common/contract.hh"
 #include "common/log.hh"
+#include "common/prof.hh"
 #include "common/trace.hh"
 #include "sim/runcache.hh"
 
@@ -73,7 +74,11 @@ Runner::workerLoop(unsigned worker_idx)
         }
         recordQueueWait(std::chrono::duration<double>(
             std::chrono::steady_clock::now() - job.submitted).count());
-        *job.out = runAppCached(*job.cfg);
+        {
+            DESC_PROF_SCOPE(Runner);
+            *job.out = runAppCached(*job.cfg);
+        }
+        DESC_PROF_CYCLES(Runner, job.out->result.cycles);
         finishOne();
     }
 }

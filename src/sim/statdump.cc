@@ -247,7 +247,8 @@ writeRegistryCsv(std::ostream &os, const StatRegistry &reg,
 
 StatRegistry
 buildRunRegistry(const SystemConfig &cfg, const AppRun &run,
-                 std::uint64_t config_hash)
+                 std::uint64_t config_hash,
+                 const prof::Profile *profile)
 {
     const auto &r = run.result;
     const auto &h = r.hierarchy;
@@ -364,6 +365,28 @@ buildRunRegistry(const SystemConfig &cfg, const AppRun &run,
     reg.addScalar("energy.processor.total", run.processor.total(),
                   "total processor energy, joules");
 
+    if (profile) {
+        for (unsigned i = 0; i < prof::kNumComponents; i++) {
+            const auto &c = profile->comp[i];
+            if (c.count == 0 && c.cycles == 0)
+                continue;
+            std::string base = std::string("prof.")
+                + prof::componentName(prof::Component(i));
+            reg.addInt(base + ".scopes", c.count,
+                       "profiled scope entries during this run");
+            reg.addScalar(base + ".self_seconds",
+                          double(c.self_ns) * 1e-9,
+                          "host seconds in this component, excluding "
+                          "nested profiled scopes");
+            reg.addScalar(base + ".total_seconds",
+                          double(c.total_ns) * 1e-9,
+                          "host seconds in this component, including "
+                          "nested profiled scopes");
+            reg.addInt(base + ".cycles", c.cycles,
+                       "simulated cycles attributed to this component");
+        }
+    }
+
     return reg;
 }
 
@@ -457,12 +480,12 @@ statsSidecarEnabled()
 
 void
 recordRunStats(const SystemConfig &cfg, const AppRun &run,
-               std::uint64_t config_hash)
+               std::uint64_t config_hash, const prof::Profile *profile)
 {
     if (!statsSidecarEnabled())
         return;
 
-    StatRegistry reg = buildRunRegistry(cfg, run, config_hash);
+    StatRegistry reg = buildRunRegistry(cfg, run, config_hash, profile);
 
     SidecarRecord rec;
     rec.app = cfg.app.name;

@@ -5,6 +5,7 @@
 #include "common/contract.hh"
 #include "cpu/inorder.hh"
 #include "cpu/ooo.hh"
+#include "sim/timeseries.hh"
 #include "workloads/backing.hh"
 #include "workloads/stream.hh"
 #include "workloads/valuemodel.hh"
@@ -80,7 +81,44 @@ runSystem(const SystemConfig &cfg)
         ooo_core->start();
     }
 
-    eq.run();
+    std::uint64_t every = timeseries::everyCycles();
+    if (every == 0) {
+        eq.run();
+    } else {
+        // Segmented run: pause at every snapshot boundary and record
+        // the counters. No events are scheduled and time never
+        // advances past natural quiescence, so the simulation result
+        // is bit-identical to the single eq.run() above.
+        std::string label = timeseries::runLabel(cfg);
+        auto instructions = [&]() {
+            std::uint64_t n = 0;
+            if (cfg.cpu == CpuKind::NiagaraSMT) {
+                for (auto &core : smt_cores)
+                    n += core->stats().instructions.value();
+            } else {
+                n = ooo_core->instructions();
+            }
+            return n;
+        };
+        for (Cycle next = every; !eq.empty(); next += every) {
+            eq.run(next);
+            if (eq.empty())
+                break;
+            const auto &hs = mem.stats();
+            timeseries::Row row;
+            row.cycle = next;
+            row.instructions = instructions();
+            row.l2_hits = hs.l2_hits.value();
+            row.l2_misses = hs.l2_misses.value();
+            row.read_transfers = hs.read_transfers.value();
+            row.write_transfers = hs.write_transfers.value();
+            row.data_flips = hs.data_flips;
+            row.ctrl_flips = hs.ctrl_flips;
+            row.dram_reads = mem.dramSystem().stats().reads.value();
+            row.dram_writes = mem.dramSystem().stats().writes.value();
+            timeseries::record(label, row);
+        }
+    }
 
     // The queue drains only once every thread retired its budget and
     // all in-flight memory traffic completed.

@@ -1,0 +1,197 @@
+#include "sim/timeseries.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+#include "sim/runcache.hh"
+
+namespace desc::sim::timeseries {
+
+namespace {
+
+constexpr std::uint64_t kNoOverride = ~std::uint64_t{0};
+
+std::atomic<std::uint64_t> g_every_override{kNoOverride};
+
+struct BufferedRow
+{
+    std::string label;
+    std::uint64_t seq;
+    Row row;
+};
+
+struct Buffer
+{
+    std::mutex mutex;
+    std::vector<BufferedRow> rows;
+    std::uint64_t next_seq = 0;
+    std::string path_override;
+    bool atexit_registered = false;
+};
+
+/** Leaked so the atexit flush never races static destruction. */
+Buffer &
+buffer()
+{
+    static Buffer *b = new Buffer;
+    return *b;
+}
+
+void
+writeCsv(Buffer &b)
+{
+    // Deterministic order regardless of worker scheduling: identical
+    // configs produce identical rows, so (label, cycle, seq) yields a
+    // byte-stable file even under DESC_SIM_JOBS > 1.
+    std::sort(b.rows.begin(), b.rows.end(),
+              [](const BufferedRow &a, const BufferedRow &c) {
+                  if (a.label != c.label)
+                      return a.label < c.label;
+                  if (a.row.cycle != c.row.cycle)
+                      return a.row.cycle < c.row.cycle;
+                  return a.seq < c.seq;
+              });
+
+    std::string path = csvPath();
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn(detail::concat("DESC_STATS_EVERY: cannot write \"", path,
+                            "\""));
+        return;
+    }
+    out << "run,cycle,instructions,l2_hits,l2_misses,read_transfers,"
+           "write_transfers,data_flips,ctrl_flips,dram_reads,"
+           "dram_writes\n";
+    for (const auto &r : b.rows) {
+        char flips[64];
+        std::snprintf(flips, sizeof(flips), "%.17g,%.17g",
+                      r.row.data_flips, r.row.ctrl_flips);
+        out << r.label << ',' << r.row.cycle << ','
+            << r.row.instructions << ',' << r.row.l2_hits << ','
+            << r.row.l2_misses << ',' << r.row.read_transfers << ','
+            << r.row.write_transfers << ',' << flips << ','
+            << r.row.dram_reads << ',' << r.row.dram_writes << '\n';
+    }
+}
+
+void
+flushAtExit()
+{
+    Buffer &b = buffer();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    writeCsv(b);
+}
+
+} // namespace
+
+std::uint64_t
+parseEverySpec(const char *spec)
+{
+    if (!spec || !*spec)
+        return 0;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(spec, &end, 10);
+    // strtoull silently wraps negatives; reject any sign explicitly.
+    bool negative = std::strchr(spec, '-') != nullptr;
+    if (end == spec || *end != '\0' || errno != 0 || negative || v < 1
+        || v > kMaxEvery) {
+        warnOnce(detail::concat("desc-stats-every-", spec),
+                 detail::concat("ignoring invalid DESC_STATS_EVERY=\"",
+                                spec, "\" (want an integer in [1, ",
+                                kMaxEvery, "]); snapshots disabled"));
+        return 0;
+    }
+    return v;
+}
+
+std::uint64_t
+everyCycles()
+{
+    std::uint64_t o = g_every_override.load(std::memory_order_relaxed);
+    if (o != kNoOverride)
+        return o;
+    return parseEverySpec(std::getenv("DESC_STATS_EVERY"));
+}
+
+std::string
+runLabel(const SystemConfig &cfg)
+{
+    char hash16[20];
+    std::snprintf(hash16, sizeof(hash16), "%016llx",
+                  (unsigned long long)configHash(cfg));
+    return cfg.app.name + std::string("/")
+        + shortSchemeName(cfg.l2.scheme) + "#" + hash16;
+}
+
+void
+record(const std::string &run_label, const Row &row)
+{
+    Buffer &b = buffer();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    if (!b.atexit_registered) {
+        b.atexit_registered = true;
+        std::atexit(flushAtExit);
+    }
+    b.rows.push_back(BufferedRow{run_label, b.next_seq++, row});
+}
+
+std::string
+csvPath()
+{
+    Buffer &b = buffer();
+    if (!b.path_override.empty())
+        return b.path_override;
+    const char *stats_out = std::getenv("DESC_STATS_OUT");
+    if (!stats_out || !*stats_out)
+        return "desc-timeseries.csv";
+    std::string base(stats_out);
+    std::size_t slash = base.find_last_of('/');
+    std::size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos
+        && (slash == std::string::npos || dot > slash))
+        base.resize(dot);
+    return base + ".timeseries.csv";
+}
+
+void
+setEveryForTest(std::uint64_t every)
+{
+    g_every_override.store(every, std::memory_order_relaxed);
+}
+
+void
+setPathForTest(const std::string &path)
+{
+    Buffer &b = buffer();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    b.path_override = path;
+}
+
+void
+flushForTest()
+{
+    Buffer &b = buffer();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    writeCsv(b);
+}
+
+void
+resetForTest()
+{
+    Buffer &b = buffer();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    b.rows.clear();
+    b.next_seq = 0;
+}
+
+} // namespace desc::sim::timeseries

@@ -13,6 +13,9 @@ Enforces repo invariants the compiler cannot see:
   trace-channel      every DESC_TRACE_EVENT/HOST channel is declared in
                      the central Channel enum, and the enum and the
                      kNames table in trace.cc stay in sync
+  prof-component     every DESC_PROF_SCOPE/DESC_PROF_CYCLES component
+                     is declared in the central Component enum, and the
+                     enum and the kNames table in prof.cc stay in sync
   determinism        no std::rand/srand/time()/clock() in src/ — all
                      randomness goes through desc::Rng, all timing
                      through the event queue (bit-exact repro rule)
@@ -257,6 +260,64 @@ def check_trace_channels(root, findings, src_iter):
                     f"the central Channel table (src/common/trace.hh)"))
 
 
+def parse_component_enum(root):
+    prof_hh = root / "src/common/prof.hh"
+    if not prof_hh.is_file():
+        return None
+    code = strip_comments(prof_hh.read_text())
+    m = re.search(r"enum\s+class\s+Component[^{]*\{([^}]*)\}", code)
+    if not m:
+        return None
+    return re.findall(r"^\s*([A-Z]\w*)\s*,?\s*$", m.group(1), re.M)
+
+
+def check_prof_components(root, findings, src_iter):
+    enum_names = parse_component_enum(root)
+    if enum_names is None:
+        findings.append(Finding(
+            "prof-component", "src/common/prof.hh", 1,
+            "cannot parse the Component enum"))
+        return
+    prof_cc = root / "src/common/prof.cc"
+    if prof_cc.is_file():
+        cc = prof_cc.read_text()
+        m = re.search(
+            r"kNames\s*\[\s*kNumComponents\s*\]\s*=\s*\{([^}]*)\}", cc)
+        if not m:
+            findings.append(Finding(
+                "prof-component", "src/common/prof.cc", 1,
+                "cannot find the central kNames component table"))
+        else:
+            table = re.findall(r'"([\w.]+)"', m.group(1))
+            if len(table) != len(enum_names):
+                findings.append(Finding(
+                    "prof-component", "src/common/prof.cc",
+                    line_of(cc, m.start()),
+                    f"component table has {len(table)} entries but the "
+                    f"Component enum declares {len(enum_names)}"))
+            else:
+                for e, t in zip(enum_names, table):
+                    # "cache.access" names the CacheAccess enum value.
+                    if e.lower() != t.replace(".", ""):
+                        findings.append(Finding(
+                            "prof-component", "src/common/prof.cc",
+                            line_of(cc, m.start()),
+                            f'table entry "{t}" does not match enum '
+                            f"value {e}"))
+    declared = set(enum_names)
+    for path, rel, text, code in src_iter:
+        if rel.endswith("common/prof.hh"):
+            continue  # the macro definitions themselves
+        for m in re.finditer(
+                r"DESC_PROF_(?:SCOPE|CYCLES)\s*\(\s*(\w+)", code):
+            if m.group(1) not in declared:
+                findings.append(Finding(
+                    "prof-component", rel, line_of(code, m.start()),
+                    f"profiler component {m.group(1)} is not declared "
+                    f"in the central Component table "
+                    f"(src/common/prof.hh)"))
+
+
 DETERMINISM_RE = re.compile(
     r"(?<![\w.:])(?:std\s*::\s*)?(?:rand|srand|rand_r|drand48)\s*\("
     r"|(?<![\w.:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
@@ -339,6 +400,7 @@ def lint(root, subdir="src"):
         for check in PER_FILE_CHECKS:
             check(root, rel, text, code, findings)
     check_trace_channels(root, findings, sources)
+    check_prof_components(root, findings, sources)
     return findings
 
 
@@ -352,6 +414,7 @@ FIXTURE_EXPECT = {
     "fixtures/bad/fastpath.cc": {"hot-path-alloc"},
     "fixtures/bad/stats_use.cc": {"stat-description"},
     "fixtures/bad/tracing.cc": {"trace-channel"},
+    "fixtures/bad/profiling.cc": {"prof-component"},
     "fixtures/bad/entropy.cc": {"determinism", "test-include"},
     "fixtures/good/clean.hh": set(),
 }
@@ -388,9 +451,10 @@ def self_test(tool_root, repo_root):
                     HOT_PATH_FILES[:] = saved
                 continue
             check(repo_root, rel, text, code, findings)
-    # Channel declarations come from the real tree; fixture trace
-    # points reference a bogus channel.
+    # Channel/component declarations come from the real tree; fixture
+    # trace and prof points reference bogus names.
     check_trace_channels(repo_root, findings, sources)
+    check_prof_components(repo_root, findings, sources)
 
     by_file = {rel: set() for rel in FIXTURE_EXPECT}
     for f in findings:

@@ -1,0 +1,12 @@
+// desc-lint fixture: deliberate violations.
+// Expected findings: prof-component (Bogus is not in the Component
+// enum). Never compiled; exercised only by desc_lint.py --self-test.
+
+#include "common/prof.hh"
+
+void
+profileSomething()
+{
+    DESC_PROF_SCOPE(Bogus);
+    DESC_PROF_CYCLES(Encoder, 12);
+}

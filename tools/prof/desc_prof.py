@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""desc-prof: render a DESC_PROF_OUT trace-event JSON as a hot-spot report.
+
+Reads the "profile" aggregate the simulator writes next to the
+Chrome/Perfetto traceEvents and prints a per-component breakdown:
+self time (descending), share of the instrumented wall clock, scope
+counts, attributed simulated cycles, and the top-3 costs. With
+--runs, the same breakdown is printed per recorded run.
+
+Usage:
+  desc_prof.py prof.json [--top N] [--runs] [--threads]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fmt_ms(ns):
+    return f"{ns / 1e6:.3f}"
+
+
+def component_rows(components):
+    """Sorted (name, totals) pairs, hottest self time first."""
+    rows = sorted(components.items(),
+                  key=lambda kv: kv[1]["self_ns"], reverse=True)
+    return [(name, t) for name, t in rows
+            if t["scopes"] > 0 or t["cycles"] > 0]
+
+
+def print_breakdown(title, components, top=None):
+    rows = component_rows(components)
+    if not rows:
+        print(f"{title}: no profiled scopes")
+        return
+    total_self = sum(t["self_ns"] for _, t in rows) or 1
+    shown = rows if top is None else rows[:top]
+
+    print(f"-- {title} --")
+    header = (f"{'component':<15} {'self ms':>12} {'self %':>7} "
+              f"{'total ms':>12} {'scopes':>12} {'cycles':>14}")
+    print(header)
+    print("-" * len(header))
+    for name, t in shown:
+        share = 100.0 * t["self_ns"] / total_self
+        print(f"{name:<15} {fmt_ms(t['self_ns']):>12} {share:>6.1f}% "
+              f"{fmt_ms(t['total_ns']):>12} {t['scopes']:>12} "
+              f"{t['cycles']:>14}")
+    if top is not None and len(rows) > top:
+        rest = sum(t["self_ns"] for _, t in rows[top:])
+        print(f"{'(other)':<15} {fmt_ms(rest):>12} "
+              f"{100.0 * rest / total_self:>6.1f}%")
+    print(f"{'(instrumented)':<15} {fmt_ms(total_self):>12} {100.0:>6.1f}%")
+
+
+def print_top_costs(components, n=3):
+    rows = component_rows(components)[:n]
+    if not rows:
+        return
+    total_self = sum(t["self_ns"] for t in
+                     (t for _, t in component_rows(components))) or 1
+    print(f"\ntop {len(rows)} costs:")
+    for i, (name, t) in enumerate(rows, 1):
+        share = 100.0 * t["self_ns"] / total_self
+        print(f"  {i}. {name}: {fmt_ms(t['self_ns'])} ms self "
+              f"({share:.1f}% of instrumented time, "
+              f"{t['scopes']} scopes)")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="per-component breakdown of a desc-prof JSON")
+    ap.add_argument("input", help="DESC_PROF_OUT file (desc-prof JSON)")
+    ap.add_argument("--top", type=int, default=None, metavar="N",
+                    help="show only the N hottest components")
+    ap.add_argument("--runs", action="store_true",
+                    help="also break down every recorded run")
+    ap.add_argument("--threads", action="store_true",
+                    help="also break down every worker thread")
+    args = ap.parse_args()
+
+    try:
+        with open(args.input) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"desc-prof: cannot read {args.input}: {e}",
+              file=sys.stderr)
+        return 1
+
+    if doc.get("format") != "desc-prof":
+        print(f"desc-prof: {args.input} is not a desc-prof JSON "
+              f"(format={doc.get('format')!r})", file=sys.stderr)
+        return 1
+
+    profile = doc.get("profile", {})
+    dropped = doc.get("dropped_events", 0)
+    events = [e for e in doc.get("traceEvents", [])
+              if e.get("ph") in ("B", "E")]
+    print(f"desc-prof {args.input}: {len(events)} trace events"
+          f" ({dropped} coalesced scopes dropped beyond the per-thread"
+          f" cap)\n")
+
+    print_breakdown("all threads", profile.get("components", {}),
+                    top=args.top)
+    print_top_costs(profile.get("components", {}))
+
+    if args.threads:
+        for t in profile.get("threads", []):
+            print()
+            print_breakdown(f"thread {t.get('name', '?')}",
+                            t.get("components", {}), top=args.top)
+
+    if args.runs:
+        for r in profile.get("runs", []):
+            print()
+            print_breakdown(f"run {r.get('run', '?')}",
+                            r.get("components", {}), top=args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
