@@ -16,11 +16,14 @@
 #include <string>
 #include <vector>
 
+#include "cache/l2mode.hh"
 #include "common/prof.hh"
 #include "common/rng.hh"
 #include "core/chunk.hh"
 #include "core/descscheme.hh"
 #include "core/link.hh"
+#include "cpu/coremode.hh"
+#include "encoding/scheme.hh"
 #include "sim/eventq.hh"
 #include "sim/experiment.hh"
 #include "sim/system.hh"
@@ -208,6 +211,29 @@ benchRunSystem(std::uint64_t insts, unsigned reps, std::uint64_t *cycles)
 }
 
 /**
+ * The same workload with every engine pinned to its cycle-accurate
+ * reference (ticked cores, per-event L2 transactions, scalar
+ * encoders, ticked links). Tracked so a regression in the fallbacks
+ * stays visible, and doubling as an equivalence probe: the cycle
+ * count must match the fast-path run exactly.
+ */
+double
+benchRunSystemTicked(std::uint64_t insts, unsigned reps,
+                     std::uint64_t *cycles)
+{
+    cpu::setDefaultCoreMode(cpu::CoreMode::Ticked);
+    cache::setDefaultL2Mode(cache::L2Mode::Event);
+    encoding::setDefaultEncoderMode(encoding::EncoderMode::Scalar);
+    core::setDefaultLinkMode(core::LinkMode::Ticked);
+    double rate = benchRunSystem(insts, reps, cycles);
+    cpu::setDefaultCoreMode(std::nullopt);
+    cache::setDefaultL2Mode(std::nullopt);
+    encoding::setDefaultEncoderMode(std::nullopt);
+    core::setDefaultLinkMode(std::nullopt);
+    return rate;
+}
+
+/**
  * Cost of the profiler when it is OFF, as a percentage of a
  * runsystem execution: (scopes per run) x (ns per disabled scope)
  * against the disabled run's wall time. The acceptance contract is
@@ -265,7 +291,7 @@ main(int argc, char **argv)
     std::uint64_t scheme_n = quick ? 20'000 : 200'000;
     std::uint64_t stats_n = quick ? 20'000 : 200'000;
     std::uint64_t insts = quick ? 1'000 : 3'000;
-    unsigned reps = quick ? 1 : 2;
+    unsigned reps = quick ? 1 : 5;
 
     double ev = benchEventQueue(ev_n);
     std::fprintf(stderr, "eventq:    %12.0f events/sec\n", ev);
@@ -281,6 +307,18 @@ main(int argc, char **argv)
     double rs = benchRunSystem(insts, reps, &cycles);
     std::fprintf(stderr, "runsystem: %12.0f sim-cycles/sec (%llu cycles)\n",
                  rs, (unsigned long long)cycles);
+    std::uint64_t cycles_ticked = 0;
+    double rs_ticked = benchRunSystemTicked(insts, reps, &cycles_ticked);
+    std::fprintf(stderr, "runsys-tk: %12.0f sim-cycles/sec (%llu cycles)\n",
+                 rs_ticked, (unsigned long long)cycles_ticked);
+    if (cycles_ticked != cycles) {
+        std::fprintf(stderr,
+                     "FAIL: ticked reference diverged (%llu vs %llu "
+                     "cycles)\n",
+                     (unsigned long long)cycles_ticked,
+                     (unsigned long long)cycles);
+        return 1;
+    }
     double prof_pct = benchProfOverheadPct(insts, rs, cycles, quick);
     std::fprintf(stderr, "prof-off:  %12.3f %% of a runsystem run\n",
                  prof_pct);
@@ -302,12 +340,13 @@ main(int argc, char **argv)
         "    \"scheme_blocks_per_sec\": %.0f,\n"
         "    \"chunkstats_blocks_per_sec\": %.0f,\n"
         "    \"runsystem_cycles_per_sec\": %.0f,\n"
+        "    \"runsystem_ticked_cycles_per_sec\": %.0f,\n"
         "    \"runsystem_prof_overhead_pct\": %.3f\n"
         "  },\n"
         "  \"check\": { \"runsystem_cycles\": %llu }\n"
         "}\n",
         quick ? "true" : "false", ev, link, link_ticked, scheme, cstats,
-        rs, prof_pct, (unsigned long long)cycles);
+        rs, rs_ticked, prof_pct, (unsigned long long)cycles);
     std::fclose(f);
     return 0;
 }

@@ -1,6 +1,12 @@
 /**
  * @file
  * Generic set-associative array with LRU replacement.
+ *
+ * Storage is struct-of-arrays: the packed tag+valid words of a set sit
+ * contiguously (a 4-way probe reads 32 bytes — one cache line of the
+ * host), with the LRU stamps and the wide per-line metadata in
+ * parallel arrays that only hit and maintenance paths touch. Lines are
+ * addressed by a stable integer Way handle (set * assoc + way).
  */
 
 #ifndef DESC_CACHE_ARRAY_HH
@@ -15,6 +21,20 @@
 namespace desc::cache {
 
 /**
+ * Tag/recency image of a whole array: everything a freshly built
+ * array needs to reproduce a functionally warmed-up state whose
+ * lines still carry default-constructed metadata. The warmup
+ * snapshot cache (sim/system.cc) keys these on the warmup inputs so
+ * repeated runs of one configuration skip the prefill walk.
+ */
+struct TagImage
+{
+    std::vector<std::uint64_t> tagv;
+    std::vector<std::uint64_t> lru;
+    std::uint64_t clock = 0;
+};
+
+/**
  * Tag/state storage for one cache level. Meta carries the
  * level-specific payload (coherence state, dirty bit, data, ...).
  */
@@ -22,13 +42,9 @@ template <typename Meta>
 class SetAssocArray
 {
   public:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        std::uint64_t lru = 0;
-        Meta meta{};
-    };
+    /** Line handle: set * assoc + way index. Stable across fills. */
+    using Way = std::uint32_t;
+    static constexpr Way kNoWay = ~Way{0};
 
     SetAssocArray(std::uint64_t capacity_bytes, unsigned assoc,
                   unsigned block_bytes)
@@ -39,7 +55,13 @@ class SetAssocArray
         _sets = unsigned(capacity_bytes / (assoc * block_bytes));
         DESC_ASSERT((_sets & (_sets - 1)) == 0,
                     "set count must be a power of two: ", _sets);
-        _lines.assign(std::size_t(_sets) * assoc, Line{});
+        const std::size_t lines = std::size_t(_sets) * assoc;
+        _tagv.assign(lines, 0);
+        _lru.assign(lines, 0);
+        // Default-construct (not copy-fill) the metadata: a Meta that
+        // leaves bulk payload members uninitialized then skips the
+        // touch of every line's payload here.
+        _meta.resize(lines);
     }
 
     unsigned numSets() const { return _sets; }
@@ -57,93 +79,96 @@ class SetAssocArray
         return addr / _block_bytes / _sets;
     }
 
-    /** Reconstruct the block address of a (set, line) pair. */
+    /** Reconstruct the block address of a (valid) line. */
     Addr
-    addrOf(const Line &line, unsigned set) const
+    addrOf(Way way) const
     {
-        return (line.tag * _sets + set) * _block_bytes;
+        const Addr tag = Addr(_tagv[way] >> 1);
+        return (tag * _sets + way / _assoc) * _block_bytes;
     }
 
-    /** Find a valid line matching @p addr; null on miss. */
-    Line *
-    lookup(Addr addr)
+    bool valid(Way way) const { return _tagv[way] & 1; }
+
+    Meta &meta(Way way) { return _meta[way]; }
+    const Meta &meta(Way way) const { return _meta[way]; }
+
+    /** Find a valid line matching @p addr; kNoWay on miss. */
+    Way
+    lookup(Addr addr) const
     {
-        unsigned set = setOf(addr);
-        Addr tag = tagOf(addr);
-        Line *base = &_lines[std::size_t(set) * _assoc];
+        const Way base = Way(setOf(addr)) * _assoc;
+        const std::uint64_t key = (std::uint64_t(tagOf(addr)) << 1) | 1;
         for (unsigned w = 0; w < _assoc; w++) {
-            if (base[w].valid && base[w].tag == tag)
-                return &base[w];
+            if (_tagv[base + w] == key)
+                return base + w;
         }
-        return nullptr;
+        return kNoWay;
     }
 
     /** Mark a line most-recently used. */
-    void touch(Line &line) { line.lru = ++_clock; }
+    void touch(Way way) { _lru[way] = ++_clock; }
 
     /**
      * Choose the victim way for @p addr (an invalid way if any,
      * otherwise the LRU line). The caller handles any writeback, then
-     * fills the returned line via fill().
+     * fills the returned way via fill().
      */
-    Line &
-    victim(Addr addr)
+    Way
+    victim(Addr addr) const
     {
-        unsigned set = setOf(addr);
-        Line *base = &_lines[std::size_t(set) * _assoc];
-        Line *pick = &base[0];
+        const Way base = Way(setOf(addr)) * _assoc;
+        Way pick = base;
         for (unsigned w = 0; w < _assoc; w++) {
-            if (!base[w].valid)
-                return base[w];
-            if (base[w].lru < pick->lru)
-                pick = &base[w];
+            if (!valid(base + w))
+                return base + w;
+            if (_lru[base + w] < _lru[pick])
+                pick = base + w;
         }
-        return *pick;
+        return pick;
     }
 
     /**
-     * Victim selection with an avoidance predicate: an invalid way
-     * wins; otherwise the LRU way among lines for which @p avoid is
-     * false; otherwise the overall LRU way. Used by the inclusive L2
-     * to prefer evicting lines without live L1 copies.
+     * Victim selection with an avoidance predicate over the line
+     * metadata: an invalid way wins; otherwise the LRU way among
+     * lines for which @p avoid is false; otherwise the overall LRU
+     * way. Used by the inclusive L2 to prefer evicting lines without
+     * live L1 copies.
      */
     template <typename Pred>
-    Line &
-    victimPreferring(Addr addr, Pred &&avoid)
+    Way
+    victimPreferring(Addr addr, Pred &&avoid) const
     {
-        unsigned set = setOf(addr);
-        Line *base = &_lines[std::size_t(set) * _assoc];
-        Line *preferred = nullptr;
-        Line *overall = &base[0];
+        const Way base = Way(setOf(addr)) * _assoc;
+        Way preferred = kNoWay;
+        Way overall = base;
         for (unsigned w = 0; w < _assoc; w++) {
-            Line &line = base[w];
-            if (!line.valid)
-                return line;
-            if (line.lru < overall->lru)
-                overall = &line;
-            if (!avoid(line)
-                && (!preferred || line.lru < preferred->lru)) {
-                preferred = &line;
+            const Way way = base + w;
+            if (!valid(way))
+                return way;
+            if (_lru[way] < _lru[overall])
+                overall = way;
+            if (!avoid(_meta[way])
+                && (preferred == kNoWay || _lru[way] < _lru[preferred])) {
+                preferred = way;
             }
         }
-        return preferred ? *preferred : *overall;
+        return preferred != kNoWay ? preferred : overall;
     }
 
-    /** Install @p addr into @p line (which may hold an evictee). */
+    /** Install @p addr into @p way (which may hold an evictee). */
     void
-    fill(Line &line, Addr addr)
+    fill(Way way, Addr addr)
     {
-        line.tag = tagOf(addr);
-        line.valid = true;
-        line.meta = Meta{};
-        touch(line);
+        _tagv[way] = (std::uint64_t(tagOf(addr)) << 1) | 1;
+        _meta[way] = Meta{};
+        touch(way);
     }
 
     void
-    invalidate(Line &line)
+    invalidate(Way way)
     {
-        line.valid = false;
-        line.meta = Meta{};
+        _tagv[way] = 0;
+        _meta[way] = Meta{};
     }
 
     /** Iterate all valid lines (for inclusive-eviction bookkeeping). */
@@ -151,13 +176,32 @@ class SetAssocArray
     void
     forEach(Fn &&fn)
     {
-        for (unsigned set = 0; set < _sets; set++) {
-            for (unsigned w = 0; w < _assoc; w++) {
-                Line &line = _lines[std::size_t(set) * _assoc + w];
-                if (line.valid)
-                    fn(line, set);
-            }
+        for (Way way = 0; way < Way(_tagv.size()); way++) {
+            if (valid(way))
+                fn(way);
         }
+    }
+
+    /** Capture the tag/valid words, LRU stamps, and LRU clock. Line
+     *  metadata is not captured: a snapshot is only meaningful while
+     *  every valid line still has default-constructed Meta (as after
+     *  a pure prefill), which restoreTagImage() reestablishes being
+     *  applied to a freshly constructed array. */
+    TagImage
+    tagImage() const
+    {
+        return {_tagv, _lru, _clock};
+    }
+
+    /** Restore a tagImage() capture onto a same-geometry array. */
+    void
+    restoreTagImage(const TagImage &img)
+    {
+        DESC_ASSERT(img.tagv.size() == _tagv.size(),
+                    "tag image from a different geometry");
+        _tagv = img.tagv;
+        _lru = img.lru;
+        _clock = img.clock;
     }
 
   private:
@@ -165,7 +209,11 @@ class SetAssocArray
     unsigned _block_bytes;
     unsigned _sets;
     std::uint64_t _clock = 0;
-    std::vector<Line> _lines;
+
+    /** tag << 1 | valid, per line; the only array probes touch. */
+    std::vector<std::uint64_t> _tagv;
+    std::vector<std::uint64_t> _lru;
+    std::vector<Meta> _meta;
 };
 
 } // namespace desc::cache

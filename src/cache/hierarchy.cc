@@ -43,6 +43,7 @@ MemHierarchy::MemHierarchy(sim::EventQueue &eq, const L2Config &l2cfg,
       _dram(eq, dram_cfg),
       _l2(l2cfg.org.capacity_bytes, l2cfg.org.assoc, l2cfg.org.block_bytes),
       _scratch(0), _scratch_raw(l2cfg.scheme_cfg.block_bits),
+      _flat(defaultL2Mode() != L2Mode::Event),
       _chunk_stats(l2cfg.scheme_cfg.chunk_bits == 0
                        ? 4
                        : l2cfg.scheme_cfg.chunk_bits,
@@ -153,128 +154,134 @@ void
 MemHierarchy::evictL1Victim(unsigned core, L1Array &l1, Addr addr,
                             bool ifetch)
 {
-    auto &v = l1.victim(addr);
-    if (!v.valid)
+    auto v = l1.victim(addr);
+    if (!l1.valid(v))
         return;
-    Addr va = l1.addrOf(v, l1.setOf(addr));
+    Addr va = l1.addrOf(v);
+    L1Meta &vm = l1.meta(v);
     if (!ifetch) {
-        auto *l2line = _l2.lookup(va);
-        if (v.meta.state == MesiState::Modified) {
+        auto l2way = _l2.lookup(va);
+        if (vm.state == MesiState::Modified) {
             _stats.l2_writebacks_in.inc();
-            if (l2line) {
-                l2line->meta.data = v.meta.data;
-                l2line->meta.dirty = true;
+            if (l2way != L2Array::kNoWay) {
+                L2Meta &lm = _l2.meta(l2way);
+                lm.data = vm.data;
+                lm.dirty = true;
+                lm.virgin = false;
             }
-            transfer(bankOf(va), v.meta.data, true,
+            transfer(bankOf(va), vm.data, true,
                      _eq.now() + _cfg.ctrl_latency + _flight);
         }
-        if (l2line) {
-            l2line->meta.sharers &= std::uint8_t(~(1u << core));
-            if (l2line->meta.owner == core)
-                l2line->meta.owner = kNoOwner;
+        if (l2way != L2Array::kNoWay) {
+            L2Meta &lm = _l2.meta(l2way);
+            lm.sharers &= std::uint8_t(~(1u << core));
+            if (lm.owner == core)
+                lm.owner = kNoOwner;
         }
     }
     l1.invalidate(v);
 }
 
 bool
-MemHierarchy::recallForShared(L2Array::Line &line, Addr addr,
+MemHierarchy::recallForShared(L2Array::Way way, Addr addr,
                               Cycle earliest, Cycle *ready)
 {
+    L2Meta &lm = _l2.meta(way);
     *ready = earliest;
-    if (line.meta.owner == kNoOwner)
+    if (lm.owner == kNoOwner)
         return false;
-    unsigned owner = line.meta.owner;
-    line.meta.owner = kNoOwner;
-    auto *l1line = _l1d[owner].lookup(addr);
-    if (!l1line)
+    unsigned owner = lm.owner;
+    lm.owner = kNoOwner;
+    auto l1way = _l1d[owner].lookup(addr);
+    if (l1way == L1Array::kNoWay)
         return false;
-    bool was_dirty = l1line->meta.state == MesiState::Modified;
-    l1line->meta.state = MesiState::Shared;
+    L1Meta &l1m = _l1d[owner].meta(l1way);
+    bool was_dirty = l1m.state == MesiState::Modified;
+    l1m.state = MesiState::Shared;
     if (was_dirty) {
         _stats.recalls.inc();
         DESC_TRACE_EVENT(Cache, _eq.now(),
                          "coherence recall: owner core ", owner,
                          " addr 0x", std::hex, addr, std::dec);
-        line.meta.data = l1line->meta.data;
-        line.meta.dirty = true;
-        *ready = transfer(bankOf(addr), line.meta.data, true, earliest);
+        lm.data = l1m.data;
+        lm.dirty = true;
+        lm.virgin = false;
+        *ready = transfer(bankOf(addr), lm.data, true, earliest);
         return true;
     }
     return false;
 }
 
 bool
-MemHierarchy::invalidateSharers(L2Array::Line &line, Addr addr,
+MemHierarchy::invalidateSharers(L2Array::Way way, Addr addr,
                                 unsigned except_core, Cycle earliest,
                                 Cycle *ready)
 {
+    L2Meta &lm = _l2.meta(way);
     *ready = earliest;
     bool recalled = false;
-    std::uint8_t sharers = line.meta.sharers;
+    std::uint8_t sharers = lm.sharers;
     for (unsigned c = 0; c < _l1d.size(); c++) {
         if (c == except_core || !(sharers & (1u << c)))
             continue;
-        auto *l1line = _l1d[c].lookup(addr);
-        if (l1line) {
-            if (l1line->meta.state == MesiState::Modified) {
+        auto l1way = _l1d[c].lookup(addr);
+        if (l1way != L1Array::kNoWay) {
+            L1Meta &l1m = _l1d[c].meta(l1way);
+            if (l1m.state == MesiState::Modified) {
                 _stats.recalls.inc();
-                line.meta.data = l1line->meta.data;
-                line.meta.dirty = true;
-                *ready = transfer(bankOf(addr), line.meta.data, true,
-                                  earliest);
+                lm.data = l1m.data;
+                lm.dirty = true;
+                lm.virgin = false;
+                *ready = transfer(bankOf(addr), lm.data, true, earliest);
                 recalled = true;
             }
-            _l1d[c].invalidate(*l1line);
+            _l1d[c].invalidate(l1way);
         }
-        line.meta.sharers &= std::uint8_t(~(1u << c));
+        lm.sharers &= std::uint8_t(~(1u << c));
     }
-    if (line.meta.owner != kNoOwner && line.meta.owner != except_core)
-        line.meta.owner = kNoOwner;
+    if (lm.owner != kNoOwner && lm.owner != except_core)
+        lm.owner = kNoOwner;
     // Postcondition: only the exempted core may still share the line,
     // and the directory cannot name an evicted sharer as owner.
     DESC_DCHECK(except_core >= 8
-                    || (line.meta.sharers
+                    || (lm.sharers
                         & std::uint8_t(~(1u << except_core))) == 0,
                 "sharers survived invalidation: bitmap ",
-                unsigned(line.meta.sharers), " except core ",
-                except_core);
-    DESC_DCHECK(line.meta.owner == kNoOwner
-                    || line.meta.owner == except_core,
-                "stale owner ", unsigned(line.meta.owner),
+                unsigned(lm.sharers), " except core ", except_core);
+    DESC_DCHECK(lm.owner == kNoOwner || lm.owner == except_core,
+                "stale owner ", unsigned(lm.owner),
                 " after invalidation");
     return recalled;
 }
 
 void
 MemHierarchy::fillL1(const MshrEntry::Waiter &w, Addr addr,
-                     L2Array::Line &l2line)
+                     L2Array::Way l2way)
 {
     L1Array &l1 = w.ifetch ? _l1i[w.core] : _l1d[w.core];
-    auto *line = l1.lookup(addr);
-    if (!line) {
+    auto way = l1.lookup(addr);
+    if (way == L1Array::kNoWay) {
         evictL1Victim(w.core, l1, addr, w.ifetch);
-        auto &v = l1.victim(addr);
-        l1.fill(v, addr);
-        line = &v;
+        way = l1.victim(addr);
+        l1.fill(way, addr);
     }
-    line->meta.data = l2line.meta.data;
+    L1Meta &l1m = l1.meta(way);
+    l1m.data = l2Data(l2way);
+    L2Meta &l2m = _l2.meta(l2way);
     if (w.ifetch) {
         // Instruction lines are read-only and not directory-tracked.
-        line->meta.state = MesiState::Shared;
+        l1m.state = MesiState::Shared;
         return;
     }
     if (w.exclusive) {
-        line->meta.state = MesiState::Exclusive;
-        l2line.meta.owner = std::uint8_t(w.core);
-        l2line.meta.sharers = std::uint8_t(1u << w.core);
+        l1m.state = MesiState::Exclusive;
+        l2m.owner = std::uint8_t(w.core);
+        l2m.sharers = std::uint8_t(1u << w.core);
     } else {
-        bool alone = l2line.meta.sharers == 0;
-        line->meta.state =
-            alone ? MesiState::Exclusive : MesiState::Shared;
-        l2line.meta.sharers |= std::uint8_t(1u << w.core);
-        l2line.meta.owner =
-            alone ? std::uint8_t(w.core) : kNoOwner;
+        bool alone = l2m.sharers == 0;
+        l1m.state = alone ? MesiState::Exclusive : MesiState::Shared;
+        l2m.sharers |= std::uint8_t(1u << w.core);
+        l2m.owner = alone ? std::uint8_t(w.core) : kNoOwner;
     }
 }
 
@@ -304,16 +311,29 @@ MemHierarchy::acquireResponse()
     return *ev;
 }
 
+MemHierarchy::TxnEvent &
+MemHierarchy::acquireTxn()
+{
+    if (_txn_free.empty()) {
+        _txn_events.emplace_back();
+        _txn_events.back().mh = this;
+        return _txn_events.back();
+    }
+    TxnEvent *ev = _txn_free.back();
+    _txn_free.pop_back();
+    return *ev;
+}
+
 void
 MemHierarchy::accessEvent(AccessEvent &ev)
 {
     DESC_PROF_SCOPE(CacheRequest);
     const Addr ba = ev.ba;
     const Cycle t0 = ev.t0;
-    MshrEntry::Waiter w = std::move(ev.w);
-    ev.w.done = nullptr;
+    MshrEntry::Waiter w = ev.w;
+    ev.w.done = DoneCb{};
     _access_free.push_back(&ev);
-    l2Request(ba, t0, std::move(w));
+    l2Request(ba, t0, w);
 }
 
 void
@@ -326,94 +346,108 @@ MemHierarchy::tagProbe(TagProbeEvent &ev)
 }
 
 void
-MemHierarchy::respond(ResponseEvent &ev)
+MemHierarchy::respondCommon(Addr addr, Cycle t0, bool sample_hit,
+                            std::vector<MshrEntry::Waiter> &waiters)
 {
-    DESC_PROF_SCOPE(CacheRespond);
-    if (ev.sample_hit)
-        _stats.hit_latency.sample(double(_eq.now() - ev.t0));
-    auto *line = _l2.lookup(ev.addr);
-    for (auto &w : ev.waiters) {
-        if (line) {
-            fillL1(w, ev.addr, *line);
-            _l2.touch(*line);
+    if (sample_hit)
+        _stats.hit_latency.sample(double(_eq.now() - t0));
+    auto way = _l2.lookup(addr);
+    for (auto &w : waiters) {
+        if (way != L2Array::kNoWay) {
+            fillL1(w, addr, way);
+            _l2.touch(way);
         }
         if (w.is_store) {
-            auto *ln = _l1d[w.core].lookup(w.req_addr);
-            if (ln) {
-                ln->meta.state = MesiState::Modified;
-                ln->meta.data[unsigned((w.req_addr >> 3) & 7)] =
-                    w.store_value;
+            auto lw = _l1d[w.core].lookup(w.req_addr);
+            if (lw != L1Array::kNoWay) {
+                L1Meta &lm = _l1d[w.core].meta(lw);
+                lm.state = MesiState::Modified;
+                lm.data[unsigned((w.req_addr >> 3) & 7)] = w.store_value;
             }
         }
         if (w.done)
             w.done();
     }
-    ev.waiters.clear(); // destroys the DoneFns, keeps the capacity
+    waiters.clear(); // keeps the capacity
+}
+
+void
+MemHierarchy::respond(ResponseEvent &ev)
+{
+    DESC_PROF_SCOPE(CacheRespond);
+    respondCommon(ev.addr, ev.t0, ev.sample_hit, ev.waiters);
     _response_free.push_back(&ev);
 }
 
 void
-MemHierarchy::serveHit(L2Array::Line &line, unsigned bank, Addr addr,
-                       Cycle earliest, Cycle t0, ResponseEvent &ev)
+MemHierarchy::deliver(DeliverEvent &ev)
 {
-    Cycle complete = transfer(bank, line.meta.data, false, earliest);
+    DoneCb cb = ev.cb;
+    ev.cb = DoneCb{};
+    _deliver_free.push_back(&ev);
+    if (cb)
+        cb();
+}
+
+Cycle
+MemHierarchy::serveHitCommon(L2Array::Way way, Addr addr, Cycle t0,
+                             unsigned core, bool exclusive, bool ifetch)
+{
+    _stats.l2_hits.inc();
+    DESC_TRACE_EVENT(Cache, _eq.now(), "L2 hit: core ", core,
+                     exclusive ? " excl" : " shared",
+                     ifetch ? " ifetch" : "", " addr 0x", std::hex,
+                     addr, std::dec);
+    unsigned bank = bankOf(addr);
+    Cycle flight_out = _cfg.snuca ? _banks[bank].route_latency : _flight;
+    Cycle earliest = t0 + _cfg.ctrl_latency + flight_out;
+
+    Cycle ready = earliest;
+    if (exclusive) {
+        if (invalidateSharers(way, addr, core, earliest, &ready))
+            ready += _cfg.recall_latency;
+    } else if (_l2.meta(way).owner != kNoOwner
+               && _l2.meta(way).owner != core) {
+        if (recallForShared(way, addr, earliest, &ready))
+            ready += _cfg.recall_latency;
+    }
+
+    Cycle complete = transfer(bank, l2Data(way), false, ready);
     Cycle flight_back =
         _cfg.snuca ? _banks[bank].route_latency : _flight;
-    Cycle resp = complete + flight_back;
-
-    ev.addr = addr;
-    ev.t0 = t0;
-    ev.sample_hit = true;
-    _eq.schedule(ev, resp);
+    return complete + flight_back;
 }
 
 void
 MemHierarchy::l2Request(Addr addr, Cycle t0, MshrEntry::Waiter w)
 {
     _stats.l2_requests.inc();
-    const unsigned core = w.core;
-    const bool exclusive = w.exclusive;
 
-    auto mshr = _mshrs.find(addr);
-    if (mshr != _mshrs.end()) {
-        mshr->second.waiters.push_back(std::move(w));
-        mshr->second.exclusive_needed |= exclusive;
+    auto mshr = findMshr(addr);
+    if (mshr != kNoMshr) {
+        _mshr_pool[mshr].waiters.push_back(w);
+        _mshr_pool[mshr].exclusive_needed |= w.exclusive;
         return;
     }
 
-    auto *line = _l2.lookup(addr);
-    if (line) {
-        _stats.l2_hits.inc();
-        DESC_TRACE_EVENT(Cache, _eq.now(), "L2 hit: core ", core,
-                         exclusive ? " excl" : " shared",
-                         w.ifetch ? " ifetch" : "", " addr 0x",
-                         std::hex, addr, std::dec);
-        unsigned bank = bankOf(addr);
-        Cycle flight_out =
-            _cfg.snuca ? _banks[bank].route_latency : _flight;
-        Cycle earliest = t0 + _cfg.ctrl_latency + flight_out;
-
-        Cycle ready = earliest;
-        if (exclusive) {
-            if (invalidateSharers(*line, addr, core, earliest, &ready))
-                ready += _cfg.recall_latency;
-        } else if (line->meta.owner != kNoOwner
-                   && line->meta.owner != core) {
-            if (recallForShared(*line, addr, earliest, &ready))
-                ready += _cfg.recall_latency;
-        }
-
+    auto way = _l2.lookup(addr);
+    if (way != L2Array::kNoWay) {
+        Cycle resp = serveHitCommon(way, addr, t0, w.core, w.exclusive,
+                                    w.ifetch);
         ResponseEvent &ev = acquireResponse();
         ev.waiters.push_back(std::move(w));
-        serveHit(*line, bank, addr, ready, t0, ev);
+        ev.addr = addr;
+        ev.t0 = t0;
+        ev.sample_hit = true;
+        _eq.schedule(ev, resp);
         return;
     }
 
     startMiss(addr, t0, std::move(w));
 }
 
-void
-MemHierarchy::startMiss(Addr addr, Cycle t0, MshrEntry::Waiter w)
+Cycle
+MemHierarchy::startMissCommon(Addr addr, Cycle t0, MshrEntry::Waiter w)
 {
     _stats.l2_misses.inc();
     DESC_TRACE_EVENT(Cache, _eq.now(), "L2 miss: core ", w.core,
@@ -422,16 +456,30 @@ MemHierarchy::startMiss(Addr addr, Cycle t0, MshrEntry::Waiter w)
                      addr, std::dec, ", to DRAM");
     // MSHR occupancy contract: one entry per block address (merges go
     // through l2Request), and entries only die in finishMiss.
-    DESC_DCHECK(_mshrs.find(addr) == _mshrs.end(),
+    DESC_DCHECK(findMshr(addr) == kNoMshr,
                 "duplicate MSHR allocation for addr 0x", std::hex, addr,
                 std::dec);
-    MshrEntry entry;
+    std::uint32_t idx;
+    if (_mshr_free.empty()) {
+        idx = std::uint32_t(_mshr_pool.size());
+        _mshr_pool.emplace_back();
+    } else {
+        idx = _mshr_free.back();
+        _mshr_free.pop_back();
+    }
+    MshrEntry &entry = _mshr_pool[idx];
     entry.exclusive_needed = w.exclusive;
     entry.waiters.push_back(std::move(w));
-    _mshrs.emplace(addr, std::move(entry));
+    _mshr_active.emplace_back(addr, idx);
 
     // Tag probe detects the miss, then the request goes to memory.
-    Cycle tag_done = t0 + _cfg.ctrl_latency + _flight + 2;
+    return t0 + _cfg.ctrl_latency + _flight + 2;
+}
+
+void
+MemHierarchy::startMiss(Addr addr, Cycle t0, MshrEntry::Waiter w)
+{
+    Cycle tag_done = startMissCommon(addr, t0, std::move(w));
     TagProbeEvent *tev;
     if (_tag_free.empty()) {
         _tag_events.emplace_back();
@@ -446,6 +494,59 @@ MemHierarchy::startMiss(Addr addr, Cycle t0, MshrEntry::Waiter w)
 }
 
 void
+MemHierarchy::txnEvent(TxnEvent &ev)
+{
+    switch (ev.phase) {
+      case TxnEvent::Phase::Request: {
+        DESC_PROF_SCOPE(CacheRequest);
+        _stats.l2_requests.inc();
+        MshrEntry::Waiter &w = ev.waiters.front();
+
+        auto mshr = findMshr(ev.addr);
+        if (mshr != kNoMshr) {
+            _mshr_pool[mshr].waiters.push_back(w);
+            _mshr_pool[mshr].exclusive_needed |= w.exclusive;
+            ev.waiters.clear();
+            _txn_free.push_back(&ev);
+            return;
+        }
+
+        auto way = _l2.lookup(ev.addr);
+        if (way != L2Array::kNoWay) {
+            // Hit: the waiter rides along; the event becomes its own
+            // response, scheduled exactly where the reference engine
+            // would allocate one.
+            Cycle resp = serveHitCommon(way, ev.addr, ev.t0, w.core,
+                                        w.exclusive, w.ifetch);
+            ev.phase = TxnEvent::Phase::Respond;
+            ev.sample_hit = true;
+            _eq.schedule(ev, resp);
+            return;
+        }
+
+        Cycle tag_done = startMissCommon(ev.addr, ev.t0, w);
+        ev.waiters.clear();
+        ev.phase = TxnEvent::Phase::Probe;
+        _eq.schedule(ev, tag_done);
+        return;
+      }
+      case TxnEvent::Phase::Probe: {
+        DESC_PROF_SCOPE(CacheMiss);
+        const Addr addr = ev.addr;
+        _txn_free.push_back(&ev);
+        _dram.access(addr, false, [this, addr]() { finishMiss(addr); });
+        return;
+      }
+      case TxnEvent::Phase::Respond: {
+        DESC_PROF_SCOPE(CacheRespond);
+        respondCommon(ev.addr, ev.t0, ev.sample_hit, ev.waiters);
+        _txn_free.push_back(&ev);
+        return;
+      }
+    }
+}
+
+void
 MemHierarchy::finishMiss(Addr addr)
 {
     DESC_PROF_SCOPE(CacheMiss);
@@ -454,29 +555,33 @@ MemHierarchy::finishMiss(Addr addr)
     // Prefer victims without live L1 copies: evicting an L1-resident
     // line forces an inclusive back-invalidation that would wipe the
     // cores' hot sets whenever the L2 churns.
-    auto &v = _l2.victimPreferring(addr, [](const L2Array::Line &line) {
-        return line.meta.sharers != 0 || line.meta.owner != kNoOwner;
+    auto v = _l2.victimPreferring(addr, [](const L2Meta &m) {
+        return m.sharers != 0 || m.owner != kNoOwner;
     });
     unsigned bank = bankOf(addr);
-    if (v.valid) {
-        Addr va = _l2.addrOf(v, _l2.setOf(addr));
+    if (_l2.valid(v)) {
+        Addr va = _l2.addrOf(v);
         // Inclusive hierarchy: L1 copies of the victim must go.
         Cycle ready;
         invalidateSharers(v, va, unsigned(-1), _eq.now(), &ready);
-        if (v.meta.dirty) {
+        if (_l2.meta(v).dirty) {
             _stats.l2_evictions_out.inc();
             DESC_TRACE_EVENT(Cache, _eq.now(),
                              "L2 dirty eviction: addr 0x", std::hex,
                              va, std::dec, " to DRAM");
-            transfer(bank, v.meta.data, false, _eq.now());
-            _backing.store(va, v.meta.data);
+            // Dirty implies materialized, so this l2Data() never
+            // re-enters the backing store (whose fetch() scratch
+            // still holds `mem` when the block was never written).
+            const Block512 &victim_data = l2Data(v);
+            transfer(bank, victim_data, false, _eq.now());
+            _backing.store(va, victim_data);
             _dram.access(va, true, nullptr);
         }
         _l2.invalidate(v);
     }
     _l2.fill(v, addr);
-    v.meta.data = mem;
-    v.meta.dirty = false;
+    _l2.meta(v).data = mem;
+    _l2.meta(v).dirty = false;
     _stats.l2_fills.inc();
 
     // Fill the data array through the bank's write port; the reply to
@@ -484,40 +589,93 @@ MemHierarchy::finishMiss(Addr addr)
     transfer(bank, mem, true, _eq.now() + _cfg.ctrl_latency);
 
     Cycle resp = _eq.now() + _cfg.ctrl_latency;
-    auto it = _mshrs.find(addr);
-    DESC_ASSERT(it != _mshrs.end(), "miss completion without MSHR");
+    auto idx = findMshr(addr);
+    DESC_ASSERT(idx != kNoMshr, "miss completion without MSHR");
 
-    ResponseEvent &ev = acquireResponse();
-    for (auto &w : it->second.waiters)
-        ev.waiters.push_back(std::move(w));
-    _mshrs.erase(it);
+    MshrEntry &entry = _mshr_pool[idx];
+    std::vector<MshrEntry::Waiter> *waiters;
+    sim::Event *resp_ev;
+    if (_flat) {
+        TxnEvent &ev = acquireTxn();
+        ev.phase = TxnEvent::Phase::Respond;
+        ev.addr = addr;
+        ev.t0 = 0;
+        ev.sample_hit = false;
+        waiters = &ev.waiters;
+        resp_ev = &ev;
+    } else {
+        ResponseEvent &ev = acquireResponse();
+        ev.addr = addr;
+        ev.t0 = 0;
+        ev.sample_hit = false;
+        waiters = &ev.waiters;
+        resp_ev = &ev;
+    }
+    for (auto &w : entry.waiters)
+        waiters->push_back(w);
+    entry.waiters.clear(); // keeps the capacity for the next miss
+    for (auto &slot : _mshr_active) {
+        if (slot.first == addr) {
+            slot = _mshr_active.back();
+            _mshr_active.pop_back();
+            break;
+        }
+    }
+    _mshr_free.push_back(idx);
 
-    ev.addr = addr;
-    ev.t0 = 0;
-    ev.sample_hit = false;
-    _eq.schedule(ev, resp);
+    _eq.schedule(*resp_ev, resp);
 }
 
 void
 MemHierarchy::prefill(Addr addr)
 {
     addr = blockAddr(addr);
-    if (_l2.lookup(addr))
+    if (_l2.lookup(addr) != L2Array::kNoWay)
         return;
-    auto &v = _l2.victimPreferring(addr, [](const L2Array::Line &line) {
-        return line.meta.sharers != 0 || line.meta.owner != kNoOwner;
+    auto v = _l2.victimPreferring(addr, [](const L2Meta &m) {
+        return m.sharers != 0 || m.owner != kNoOwner;
     });
-    if (v.valid && v.meta.dirty)
-        _backing.store(_l2.addrOf(v, _l2.setOf(addr)), v.meta.data);
+    if (_l2.valid(v) && _l2.meta(v).dirty)
+        _backing.store(_l2.addrOf(v), _l2.meta(v).data);
     _l2.invalidate(v);
     _l2.fill(v, addr);
-    v.meta.data = _backing.fetch(addr);
-    v.meta.dirty = false;
+    // Tag-only install: the payload stays virgin until the first read
+    // materializes it (l2Data()). Warming ~70% of the L2 then costs
+    // tag walks instead of a value-model synthesis per block, and a
+    // line that is never read never pays one at all.
+    _l2.meta(v).virgin = true;
+}
+
+const Block512 &
+MemHierarchy::l2Data(L2Array::Way way)
+{
+    L2Meta &m = _l2.meta(way);
+    if (m.virgin) {
+        m.data = _backing.fetch(_l2.addrOf(way));
+        m.virgin = false;
+    }
+    return m.data;
+}
+
+MemHierarchy::WarmupState
+MemHierarchy::warmupSnapshot() const
+{
+    return {_l2.tagImage()};
+}
+
+void
+MemHierarchy::restoreWarmup(const WarmupState &w)
+{
+    _l2.restoreTagImage(w.l2);
+    // A pure prefill() sequence leaves every valid line as a clean,
+    // unshared, virgin install; the fresh array's default metadata
+    // covers everything but the virgin flag.
+    _l2.forEach([this](L2Array::Way way) { _l2.meta(way).virgin = true; });
 }
 
 std::optional<Cycle>
 MemHierarchy::access(unsigned core, Addr addr, bool is_write,
-                     std::uint64_t store_value, bool ifetch, DoneFn done)
+                     std::uint64_t store_value, bool ifetch, DoneCb done)
 {
     DESC_PROF_SCOPE(CacheAccess);
     DESC_ASSERT(core < _l1d.size(), "core id out of range");
@@ -527,36 +685,47 @@ MemHierarchy::access(unsigned core, Addr addr, bool is_write,
     (ifetch ? _stats.l1i_accesses : _stats.l1d_accesses).inc();
 
     const unsigned word = unsigned((addr >> 3) & 7);
-    auto *line = l1.lookup(addr);
-    if (line) {
+    auto way = l1.lookup(addr);
+    if (way != L1Array::kNoWay) {
+        L1Meta &lm = l1.meta(way);
         if (!is_write) {
-            l1.touch(*line);
+            l1.touch(way);
             return Cycle{2};
         }
-        if (line->meta.state == MesiState::Modified
-            || line->meta.state == MesiState::Exclusive) {
-            line->meta.state = MesiState::Modified;
-            line->meta.data[word] = store_value;
-            l1.touch(*line);
+        if (lm.state == MesiState::Modified
+            || lm.state == MesiState::Exclusive) {
+            lm.state = MesiState::Modified;
+            lm.data[word] = store_value;
+            l1.touch(way);
             return Cycle{2};
         }
         // Store hit on a Shared line: upgrade (invalidate peers, no
         // data transfer).
         _stats.upgrades.inc();
         Addr ba = blockAddr(addr);
-        auto *l2line = _l2.lookup(ba);
-        if (l2line) {
+        auto l2way = _l2.lookup(ba);
+        if (l2way != L2Array::kNoWay) {
             Cycle ready;
-            invalidateSharers(*l2line, ba, core,
+            invalidateSharers(l2way, ba, core,
                               _eq.now() + _cfg.ctrl_latency, &ready);
-            l2line->meta.owner = std::uint8_t(core);
-            l2line->meta.sharers = std::uint8_t(1u << core);
+            _l2.meta(l2way).owner = std::uint8_t(core);
+            _l2.meta(l2way).sharers = std::uint8_t(1u << core);
         }
-        line->meta.state = MesiState::Modified;
-        line->meta.data[word] = store_value;
-        l1.touch(*line);
+        lm.state = MesiState::Modified;
+        lm.data[word] = store_value;
+        l1.touch(way);
         Cycle lat = 2 * (_cfg.ctrl_latency + _flight);
-        _eq.scheduleIn(lat, std::move(done));
+        DeliverEvent *dev;
+        if (_deliver_free.empty()) {
+            _deliver_events.emplace_back();
+            _deliver_events.back().mh = this;
+            dev = &_deliver_events.back();
+        } else {
+            dev = _deliver_free.back();
+            _deliver_free.pop_back();
+        }
+        dev->cb = done;
+        _eq.scheduleIn(*dev, lat);
         return std::nullopt;
     }
 
@@ -564,16 +733,22 @@ MemHierarchy::access(unsigned core, Addr addr, bool is_write,
 
     Addr ba = blockAddr(addr);
     Cycle t0 = _eq.now() + 2; // L1 probe detects the miss
+    MshrEntry::Waiter w{core,  is_write,    ifetch, is_write,
+                        addr,  store_value, done};
+    if (_flat) {
+        TxnEvent &ev = acquireTxn();
+        ev.phase = TxnEvent::Phase::Request;
+        ev.addr = ba;
+        ev.t0 = t0;
+        ev.sample_hit = false;
+        ev.waiters.push_back(w);
+        _eq.schedule(ev, t0);
+        return std::nullopt;
+    }
     AccessEvent &ev = acquireAccess();
     ev.ba = ba;
     ev.t0 = t0;
-    ev.w.core = core;
-    ev.w.exclusive = is_write;
-    ev.w.ifetch = ifetch;
-    ev.w.is_store = is_write;
-    ev.w.req_addr = addr;
-    ev.w.store_value = store_value;
-    ev.w.done = std::move(done);
+    ev.w = w;
     _eq.schedule(ev, t0);
     return std::nullopt;
 }

@@ -16,14 +16,14 @@
 #define DESC_CACHE_HIERARCHY_HH
 
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/array.hh"
 #include "cache/blockdata.hh"
+#include "cache/l2mode.hh"
 #include "common/stats.hh"
 #include "core/chunk.hh"
 #include "dram/ddr3.hh"
@@ -33,6 +33,26 @@
 #include "sim/eventq.hh"
 
 namespace desc::cache {
+
+/**
+ * Completion callback for an asynchronous access: a plain function
+ * pointer plus a context pointer and a small integer argument. All
+ * core models key their continuations on (object, thread id), so this
+ * covers every caller without the type erasure and heap spill of
+ * std::function (whose captures exceed the libstdc++ small-buffer
+ * size on the hot miss path).
+ */
+struct DoneCb
+{
+    using Fn = void (*)(void *ctx, unsigned arg);
+
+    Fn fn = nullptr;
+    void *ctx = nullptr;
+    unsigned arg = 0;
+
+    explicit operator bool() const { return fn != nullptr; }
+    void operator()() const { fn(ctx, arg); }
+};
 
 /** MESI coherence states of an L1 line. */
 enum class MesiState : std::uint8_t { Invalid, Shared, Exclusive, Modified };
@@ -128,8 +148,6 @@ struct HierarchyStats
 class MemHierarchy
 {
   public:
-    using DoneFn = std::function<void()>;
-
     MemHierarchy(sim::EventQueue &eq, const L2Config &l2cfg,
                  BackingStore &backing, unsigned num_cores,
                  const L1Config &l1cfg = L1Config{},
@@ -145,7 +163,7 @@ class MemHierarchy
      */
     std::optional<Cycle> access(unsigned core, Addr addr, bool is_write,
                                 std::uint64_t store_value, bool ifetch,
-                                DoneFn done);
+                                DoneCb done);
 
     const HierarchyStats &stats() const { return _stats; }
     const dram::DramSystem &dramSystem() const { return _dram; }
@@ -160,8 +178,55 @@ class MemHierarchy
      * without consuming simulated time or charging activity. Used to
      * reach steady-state cache contents before the timed region, as
      * SimPoint-style sampled simulation requires.
+     *
+     * The install is lazy: only the tag is placed, the payload stays
+     * virgin and is materialized from the backing store at the first
+     * data read (l2Data()). Since the backing contents of a
+     * never-written block are a pure function of its address, the
+     * observable data stream is identical to an eager fill.
      */
     void prefill(Addr addr);
+
+    /**
+     * Capture of the post-prefill L2 state, cheap to reapply. Valid
+     * only for a hierarchy that has seen nothing but prefill() calls:
+     * every valid line is then a clean, unshared, virgin install, so
+     * tags + recency are the whole state.
+     */
+    struct WarmupState
+    {
+        TagImage l2;
+    };
+
+    WarmupState warmupSnapshot() const;
+
+    /** Reapply a snapshot to a freshly constructed hierarchy (same
+     *  geometry); equivalent to re-running the prefill() sequence the
+     *  snapshot was taken after. */
+    void restoreWarmup(const WarmupState &w);
+
+    /**
+     * Would access() complete synchronously right now? Mirrors the
+     * L1-hit cases (read hit on any valid line; write hit on an M/E
+     * line) without mutating any state — no LRU touch, no stats. The
+     * cores' fast-forward paths use this to prove a run of memory ops
+     * will all be 2-cycle hits before retiring them in one step.
+     */
+    bool
+    peekHit(unsigned core, Addr addr, bool is_write, bool ifetch) const
+    {
+        const L1Array &l1 = ifetch ? _l1i[core] : _l1d[core];
+        auto way = l1.lookup(addr);
+        if (way == L1Array::kNoWay)
+            return false;
+        if (!is_write)
+            return true;
+        MesiState st = l1.meta(way).state;
+        return st == MesiState::Modified || st == MesiState::Exclusive;
+    }
+
+    /** True when the flat phase-chained transaction engine is active. */
+    bool usesFlatTxns() const { return _flat; }
 
   private:
     struct L1Meta
@@ -172,10 +237,21 @@ class MemHierarchy
 
     struct L2Meta
     {
+        /** User-provided so that constructing the (multi-megabyte)
+         *  L2 array does not zero every payload: data stays
+         *  indeterminate until a fill, writeback, or l2Data()
+         *  materialization writes the whole block. */
+        L2Meta() {}
+
         bool dirty = false;
         std::uint8_t sharers = 0; //!< DL1 sharer bitmap
         std::uint8_t owner = kNoOwner;
-        Block512 data{};
+        /** Prefilled line whose payload was never materialized: data
+         *  is still default and must be loaded from the backing store
+         *  before the first read (see l2Data()). Cleared by any
+         *  full-block write. */
+        bool virgin = false;
+        Block512 data;
     };
 
     static constexpr std::uint8_t kNoOwner = 0xff;
@@ -207,7 +283,7 @@ class MemHierarchy
             bool is_store = false;
             Addr req_addr = 0;
             std::uint64_t store_value = 0;
-            DoneFn done;
+            DoneCb done{};
         };
         std::vector<Waiter> waiters;
         bool exclusive_needed = false;
@@ -246,8 +322,51 @@ class MemHierarchy
         std::vector<MshrEntry::Waiter> waiters;
     };
 
+    /** Plain delayed completion (store-upgrade acknowledgement). */
+    struct DeliverEvent final : sim::Event
+    {
+        void process() override { mh->deliver(*this); }
+        MemHierarchy *mh = nullptr;
+        DoneCb cb{};
+    };
+
+    /**
+     * Flat-engine transaction: one pooled event that carries a cache
+     * transaction through its phases by rescheduling itself — request
+     * at the L2 controller, tag probe on a miss, data response back at
+     * the cores. Each phase issues its schedule call at exactly the
+     * point the reference chain would allocate its next event, so the
+     * global event order (and with it every observable) is identical.
+     */
+    struct TxnEvent final : sim::Event
+    {
+        enum class Phase : std::uint8_t { Request, Probe, Respond };
+
+        void process() override { mh->txnEvent(*this); }
+
+        MemHierarchy *mh = nullptr;
+        Phase phase = Phase::Request;
+        Addr addr = 0;
+        Cycle t0 = 0;
+        bool sample_hit = false;
+        std::vector<MshrEntry::Waiter> waiters;
+    };
+
+    static constexpr std::uint32_t kNoMshr = ~std::uint32_t{0};
+
     unsigned bankOf(Addr addr) const;
     Addr blockAddr(Addr addr) const { return addr & ~Addr{63}; }
+
+    /** Index into _mshr_pool of the entry for @p addr, or kNoMshr. */
+    std::uint32_t
+    findMshr(Addr addr) const
+    {
+        for (const auto &[a, idx] : _mshr_active) {
+            if (a == addr)
+                return idx;
+        }
+        return kNoMshr;
+    }
 
     /**
      * Run @p data through a bank port. Returns the completion cycle
@@ -256,28 +375,49 @@ class MemHierarchy
     Cycle transfer(unsigned bank, const Block512 &data, bool write_dir,
                    Cycle earliest);
 
+    /**
+     * The payload of L2 line @p way, materializing a virgin prefill
+     * from the backing store first. Every read of L2 data must come
+     * through here; full-block writes instead clear the virgin flag
+     * at the write site.
+     */
+    const Block512 &l2Data(L2Array::Way way);
+
     void accessEvent(AccessEvent &ev);
     void tagProbe(TagProbeEvent &ev);
     void respond(ResponseEvent &ev);
+    void deliver(DeliverEvent &ev);
+    void txnEvent(TxnEvent &ev);
     AccessEvent &acquireAccess();
     ResponseEvent &acquireResponse();
+    TxnEvent &acquireTxn();
 
     void l2Request(Addr addr, Cycle t0, MshrEntry::Waiter w);
-    void serveHit(L2Array::Line &line, unsigned bank, Addr addr,
-                  Cycle earliest, Cycle t0, ResponseEvent &ev);
     void startMiss(Addr addr, Cycle t0, MshrEntry::Waiter w);
     void finishMiss(Addr addr);
 
+    /**
+     * Engine-shared transaction steps. The hit path performs the
+     * coherence actions and the data transfer, returning the cycle
+     * the response reaches the cores; the miss path allocates the
+     * MSHR and returns the tag-probe completion cycle; the respond
+     * step fills L1s, applies stores, and runs the completions.
+     */
+    Cycle serveHitCommon(L2Array::Way way, Addr addr, Cycle t0,
+                         unsigned core, bool exclusive, bool ifetch);
+    Cycle startMissCommon(Addr addr, Cycle t0, MshrEntry::Waiter w);
+    void respondCommon(Addr addr, Cycle t0, bool sample_hit,
+                       std::vector<MshrEntry::Waiter> &waiters);
+
     /** Flush/downgrade coherence copies; returns true if a recall
      *  transfer was needed (owner had a Modified copy). */
-    bool recallForShared(L2Array::Line &line, Addr addr, Cycle earliest,
+    bool recallForShared(L2Array::Way way, Addr addr, Cycle earliest,
                          Cycle *ready);
-    bool invalidateSharers(L2Array::Line &line, Addr addr,
+    bool invalidateSharers(L2Array::Way way, Addr addr,
                            unsigned except_core, Cycle earliest,
                            Cycle *ready);
 
-    void fillL1(const MshrEntry::Waiter &w, Addr addr,
-                L2Array::Line &l2line);
+    void fillL1(const MshrEntry::Waiter &w, Addr addr, L2Array::Way l2way);
     void evictL1Victim(unsigned core, L1Array &l1, Addr addr, bool ifetch);
 
     sim::EventQueue &_eq;
@@ -290,7 +430,15 @@ class MemHierarchy
     std::vector<L1Array> _l1d;
     L2Array _l2;
     std::vector<Bank> _banks;
-    std::unordered_map<Addr, MshrEntry> _mshrs;
+
+    /**
+     * MSHRs as an index-stable pool plus a small active list. The
+     * handful of misses in flight make a linear scan cheaper than
+     * hashing, and recycled entries keep their waiters capacity.
+     */
+    std::vector<MshrEntry> _mshr_pool;
+    std::vector<std::uint32_t> _mshr_free;
+    std::vector<std::pair<Addr, std::uint32_t>> _mshr_active;
 
     std::deque<AccessEvent> _access_events; //!< pinned storage
     std::vector<AccessEvent *> _access_free;
@@ -298,6 +446,10 @@ class MemHierarchy
     std::vector<TagProbeEvent *> _tag_free;
     std::deque<ResponseEvent> _response_events;
     std::vector<ResponseEvent *> _response_free;
+    std::deque<DeliverEvent> _deliver_events;
+    std::vector<DeliverEvent *> _deliver_free;
+    std::deque<TxnEvent> _txn_events;
+    std::vector<TxnEvent *> _txn_free;
 
     std::unique_ptr<ecc::BlockCodec> _codec;
     BitVec _scratch;     //!< reusable transfer word
@@ -306,6 +458,7 @@ class MemHierarchy
     unsigned _array_read_cycles;
     unsigned _array_write_cycles;
     Cycle _flight;
+    bool _flat; //!< flat transaction engine (latched L2 mode)
 
     HierarchyStats _stats;
     core::ChunkStats _chunk_stats;

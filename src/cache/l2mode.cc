@@ -1,0 +1,44 @@
+#include "cache/l2mode.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+
+namespace desc::cache {
+
+namespace {
+
+std::optional<L2Mode> g_l2_mode_override;
+
+} // namespace
+
+void
+setDefaultL2Mode(std::optional<L2Mode> mode)
+{
+    g_l2_mode_override = mode;
+}
+
+L2Mode
+defaultL2Mode()
+{
+    if (g_l2_mode_override)
+        return *g_l2_mode_override;
+    static const L2Mode env_mode = [] {
+        const char *env = std::getenv("DESC_L2_MODE");
+        if (!env || !*env || !std::strcmp(env, "auto"))
+            return L2Mode::Auto;
+        if (!std::strcmp(env, "flat"))
+            return L2Mode::Flat;
+        if (!std::strcmp(env, "event"))
+            return L2Mode::Event;
+        warnOnce("desc-l2-mode",
+                 std::string("DESC_L2_MODE=") + env
+                     + " not recognized (auto|flat|event); using auto");
+        return L2Mode::Auto;
+    }();
+    return env_mode;
+}
+
+} // namespace desc::cache

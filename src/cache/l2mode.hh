@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Runtime selection of the L2 transaction engine.
+ *
+ * Flat mode collapses the request -> tag-probe -> respond event chain
+ * of a cache transaction into one pooled, phase-chained event that
+ * reschedules itself; Event mode keeps the reference chain of three
+ * separate pooled event types. Both engines issue schedule calls in
+ * the same order at the same cycles, so every observable — stats,
+ * traces, run caches — is bit-identical; the differential suite pins
+ * this. Mirrors DESC_LINK_MODE / DESC_ENCODER_MODE.
+ */
+
+#ifndef DESC_CACHE_L2MODE_HH
+#define DESC_CACHE_L2MODE_HH
+
+#include <optional>
+
+namespace desc::cache {
+
+enum class L2Mode {
+    Auto, //!< flat engine (no observable differs, so no watcher gate)
+    Flat, //!< force the phase-chained single-event engine
+    Event //!< force the reference three-event chain
+};
+
+/**
+ * Mode from the DESC_L2_MODE environment variable (auto|flat|event),
+ * latched on first use; a programmatic override takes precedence.
+ * Hierarchies capture the mode at construction.
+ */
+L2Mode defaultL2Mode();
+
+/**
+ * Override (or, with nullopt, un-override) the default L2 mode from
+ * code. Later-constructed hierarchies see the new value; existing
+ * ones are unaffected. For differential tests.
+ */
+void setDefaultL2Mode(std::optional<L2Mode> mode);
+
+} // namespace desc::cache
+
+#endif // DESC_CACHE_L2MODE_HH

@@ -90,13 +90,32 @@ class ChunkStats
     }
 
   private:
+    void observeScalar(const BitVec &block, unsigned n);
+    void observeBatched(const BitVec &block, unsigned n);
+    bool batchedObservable(unsigned n) const;
+    void packPrevWords();
+    void unpackPrevWords();
+
     unsigned _chunk_bits;
     unsigned _wires;
+    bool _batched; //!< word-at-a-time pass (latched encoder mode)
     Histogram _hist;
     std::vector<std::uint8_t> _last;
     std::vector<bool> _last_valid;
     std::uint64_t _matches = 0;
     std::uint64_t _match_candidates = 0;
+
+    /**
+     * Batched-pass state: the previous wave packed at chunk_bits per
+     * wire, and whether every wire has transmitted at least once (a
+     * complete block primes all wires, so one flag replaces the
+     * per-wire valid bits). Exactly one of the byte/word wire-state
+     * representations is fresh at a time; the observe paths convert
+     * on entry when the other path ran last.
+     */
+    std::vector<std::uint64_t> _prev_words;
+    bool _primed = false;
+    bool _words_fresh = false;
 };
 
 } // namespace desc::core

@@ -34,11 +34,43 @@ class DescScheme : public encoding::TransferScheme
 
     const DescConfig &config() const { return _cfg; }
 
+    /**
+     * Select the scalar reference loop or the SWAR batched pass
+     * (latched from defaultEncoderMode() at construction). Switching
+     * mid-stream is safe: the wire state is converted between the
+     * byte-per-wire and packed-word representations.
+     */
+    void setEncoderMode(encoding::EncoderMode mode);
+
+    /** True when transfer() takes the word-at-a-time batched pass. */
+    bool usesBatchedPath() const
+    {
+        return _mode != encoding::EncoderMode::Scalar && batchedSupported();
+    }
+
   private:
+    bool batchedSupported() const;
+    encoding::TransferResult transferScalar(const BitVec &block);
+    encoding::TransferResult transferBatched(const BitVec &block);
+    void packLastWords();
+    void unpackLastWords();
+
     DescConfig _cfg;
+    encoding::EncoderMode _mode;
     std::vector<std::uint8_t> _last;
     AdaptiveTracker _adaptive;
     std::vector<Cycle> _wire_time; //!< reused basic-mode scratch
+
+    /**
+     * Packed mirror of _last for the batched LastValue pass: wave
+     * layout, chunk i of the final wave at bit i*chunk_bits. Only one
+     * representation is kept fresh at a time; the mode setter and the
+     * path entry points convert on demand (None/Zero modes never read
+     * the previous values, so staleness there is unobservable).
+     */
+    std::vector<std::uint64_t> _last_words;
+    bool _last_words_fresh = true;
+    bool _last_bytes_fresh = true;
 };
 
 } // namespace desc::core

@@ -10,9 +10,23 @@
 
 namespace desc::core {
 
+namespace {
+
+std::optional<LinkMode> g_link_mode_override;
+
+} // namespace
+
+void
+setDefaultLinkMode(std::optional<LinkMode> mode)
+{
+    g_link_mode_override = mode;
+}
+
 LinkMode
 defaultLinkMode()
 {
+    if (g_link_mode_override)
+        return *g_link_mode_override;
     static const LinkMode mode = [] {
         const char *env = std::getenv("DESC_LINK_MODE");
         if (!env || !*env || !std::strcmp(env, "auto"))

@@ -23,6 +23,7 @@
 #define DESC_CORE_LINK_HH
 
 #include <functional>
+#include <optional>
 
 #include "common/bitvec.hh"
 #include "core/config.hh"
@@ -48,6 +49,15 @@ enum class LinkMode
  * an unrecognized value warns and falls back to Auto.
  */
 LinkMode defaultLinkMode();
+
+/**
+ * Programmatic override of defaultLinkMode(), bypassing the
+ * environment latch; nullopt returns to the environment/default.
+ * Affects links constructed (or re-moded) afterwards — the
+ * differential tests and per-mode benchmarks use it to force each
+ * engine in one process.
+ */
+void setDefaultLinkMode(std::optional<LinkMode> mode);
 
 class DescLink
 {

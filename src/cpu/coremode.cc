@@ -1,0 +1,44 @@
+#include "cpu/coremode.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+
+namespace desc::cpu {
+
+namespace {
+
+std::optional<CoreMode> g_core_mode_override;
+
+} // namespace
+
+void
+setDefaultCoreMode(std::optional<CoreMode> mode)
+{
+    g_core_mode_override = mode;
+}
+
+CoreMode
+defaultCoreMode()
+{
+    if (g_core_mode_override)
+        return *g_core_mode_override;
+    static const CoreMode env_mode = [] {
+        const char *env = std::getenv("DESC_CORE_MODE");
+        if (!env || !*env || !std::strcmp(env, "auto"))
+            return CoreMode::Auto;
+        if (!std::strcmp(env, "fast"))
+            return CoreMode::Fast;
+        if (!std::strcmp(env, "ticked"))
+            return CoreMode::Ticked;
+        warnOnce("desc-core-mode",
+                 std::string("DESC_CORE_MODE=") + env
+                     + " not recognized (auto|fast|ticked); using auto");
+        return CoreMode::Auto;
+    }();
+    return env_mode;
+}
+
+} // namespace desc::cpu

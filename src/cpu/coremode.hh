@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Runtime selection of the core execution engine.
+ *
+ * Fast mode lets cores retire whole runs of provably-hitting bursts
+ * in one step — the in-order cores replay their dispatch/wake event
+ * chains privately until the first queued foreign event or the first
+ * access that is not a sure L1 hit, and the out-of-order core chains
+ * bursts inline while no load is outstanding. Ticked mode keeps the
+ * reference event-per-burst execution. Both engines perform the same
+ * accesses in the same order at the same cycles, so every observable
+ * — stats, traces, run caches — is bit-identical; the differential
+ * suite pins this. Mirrors DESC_LINK_MODE / DESC_L2_MODE /
+ * DESC_ENCODER_MODE.
+ */
+
+#ifndef DESC_CPU_COREMODE_HH
+#define DESC_CPU_COREMODE_HH
+
+#include <optional>
+
+namespace desc::cpu {
+
+enum class CoreMode {
+    Auto,  //!< fast engine (no observable differs, so no watcher gate)
+    Fast,  //!< force the instruction-batch fast-forward engine
+    Ticked //!< force the reference event-per-burst engine
+};
+
+/**
+ * Mode from the DESC_CORE_MODE environment variable
+ * (auto|fast|ticked), latched on first use; a programmatic override
+ * takes precedence. Cores capture the mode at construction.
+ */
+CoreMode defaultCoreMode();
+
+/**
+ * Override (or, with nullopt, un-override) the default core mode
+ * from code. Later-constructed cores see the new value; existing
+ * ones are unaffected. For differential tests.
+ */
+void setDefaultCoreMode(std::optional<CoreMode> mode);
+
+} // namespace desc::cpu
+
+#endif // DESC_CPU_COREMODE_HH

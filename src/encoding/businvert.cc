@@ -15,6 +15,9 @@ constexpr unsigned kSegsPerModeWord = 20;
 
 } // namespace
 
+/** Table-pass gate: 4^(b+1) entries stay small only for b <= 6. */
+constexpr unsigned kMaxTableSegBits = 6;
+
 BusInvertScheme::BusInvertScheme(const SchemeConfig &cfg, Mode mode)
     : _wires(cfg.bus_wires), _block_bits(cfg.block_bits),
       _seg_bits(cfg.segment_bits), _mode(mode), _state(cfg.bus_wires)
@@ -30,6 +33,72 @@ BusInvertScheme::BusInvertScheme(const SchemeConfig &cfg, Mode mode)
     _skip_state.assign(_num_segs, false);
     _mode_state.assign((_num_segs + kSegsPerModeWord - 1) / kSegsPerModeWord,
                        0);
+    if (defaultEncoderMode() != EncoderMode::Scalar
+        && _seg_bits <= kMaxTableSegBits) {
+        buildTable();
+        _seg_old.assign(_num_segs, 0);
+        _seg_flags.assign(_num_segs, 0);
+        _seg_modes.assign(_num_segs, SegMode::AsIs);
+    }
+}
+
+void
+BusInvertScheme::buildTable()
+{
+    // Enumerate every (value, old, inv, skip) segment state once and
+    // record the decision the reference loop in transferScalar()
+    // would take; the hot loop then replays decisions with one load
+    // per segment. The differential suite pins the two paths against
+    // each other.
+    const unsigned b = _seg_bits;
+    const std::uint64_t seg_mask = (std::uint64_t{1} << b) - 1;
+    const bool sparse = _mode == Mode::ZeroSkipSparse;
+    const bool skip_supported = _mode != Mode::Plain;
+    _table.resize(std::size_t{4} << (2 * b));
+    for (std::uint64_t value = 0; value <= seg_mask; value++) {
+        for (std::uint64_t old = 0; old <= seg_mask; old++) {
+            for (unsigned flags = 0; flags < 4; flags++) {
+                const bool inv = flags & 1;
+                const bool skip = flags & 2;
+                const unsigned cost_plain =
+                    unsigned(std::popcount(value ^ old)) + (inv ? 1 : 0)
+                    + (sparse && skip ? 1 : 0);
+                const unsigned cost_inv =
+                    unsigned(std::popcount((~value & seg_mask) ^ old))
+                    + (inv ? 0 : 1) + (sparse && skip ? 1 : 0);
+                const unsigned cost_skip = sparse && !skip ? 1 : 0;
+
+                SegEntry e{};
+                if (skip_supported && value == 0
+                    && cost_skip <= std::min(cost_plain, cost_inv)) {
+                    e.mode = std::uint8_t(SegMode::Skip);
+                    e.coded = std::uint8_t(old);
+                    e.ctrl_flips = std::uint8_t(cost_skip);
+                    e.skip = 1;
+                    e.flags = std::uint8_t((inv ? 1 : 0)
+                                           | (sparse ? 2 : (skip ? 2 : 0)));
+                } else if (cost_inv < cost_plain) {
+                    const std::uint64_t coded = ~value & seg_mask;
+                    e.mode = std::uint8_t(SegMode::Inverted);
+                    e.coded = std::uint8_t(coded);
+                    e.data_flips =
+                        std::uint8_t(std::popcount(coded ^ old));
+                    e.ctrl_flips = std::uint8_t((inv ? 0 : 1)
+                                                + (sparse && skip ? 1 : 0));
+                    e.flags = 1; // inverted, skip line released
+                } else {
+                    e.mode = std::uint8_t(SegMode::AsIs);
+                    e.coded = std::uint8_t(value);
+                    e.data_flips =
+                        std::uint8_t(std::popcount(value ^ old));
+                    e.ctrl_flips = std::uint8_t((inv ? 1 : 0)
+                                                + (sparse && skip ? 1 : 0));
+                    e.flags = 0;
+                }
+                _table[((value << b | old) << 2) | flags] = e;
+            }
+        }
+    }
 }
 
 unsigned
@@ -64,6 +133,59 @@ TransferResult
 BusInvertScheme::transfer(const BitVec &block)
 {
     DESC_ASSERT(block.width() == _block_bits, "block width mismatch");
+    if (usesTablePath())
+        return transferTable(block);
+    return transferScalar(block);
+}
+
+TransferResult
+BusInvertScheme::transferTable(const BitVec &block)
+{
+    TransferResult result;
+    result.cycles = _beats + (_mode == Mode::ZeroSkipEncoded ? 2 : 1);
+    const bool encoded = _mode == Mode::ZeroSkipEncoded;
+    const unsigned b = _seg_bits;
+
+    for (unsigned beat = 0; beat < _beats; beat++) {
+        const unsigned beat_base = beat * _wires;
+        for (unsigned s = 0; s < _num_segs; s++) {
+            const unsigned pos = beat_base + s * b;
+            std::uint64_t value = 0;
+            if (pos < _block_bits) {
+                unsigned avail = std::min(b, _block_bits - pos);
+                value = block.fieldUnchecked(pos, avail);
+            }
+            const SegEntry &e =
+                _table[((value << b | _seg_old[s]) << 2) | _seg_flags[s]];
+            result.data_flips += e.data_flips;
+            result.control_flips += e.ctrl_flips;
+            result.skipped += e.skip;
+            _seg_old[s] = e.coded;
+            _seg_flags[s] = e.flags;
+            if (encoded)
+                _seg_modes[s] = SegMode(e.mode);
+        }
+
+        if (encoded) {
+            for (unsigned w = 0; w < _mode_state.size(); w++) {
+                std::uint32_t packed = 0;
+                unsigned lo = w * kSegsPerModeWord;
+                unsigned hi = std::min<unsigned>(lo + kSegsPerModeWord,
+                                                 _num_segs);
+                for (unsigned s = hi; s-- > lo;)
+                    packed = packed * 3 + std::uint32_t(_seg_modes[s]);
+                result.control_flips += std::popcount(packed ^
+                                                      _mode_state[w]);
+                _mode_state[w] = packed;
+            }
+        }
+    }
+    return result;
+}
+
+TransferResult
+BusInvertScheme::transferScalar(const BitVec &block)
+{
     TransferResult result;
     // Encode/decode pipeline stage for the non-trivial codings
     // (responsible for the ~1% execution-time overhead in Figure 20).
@@ -175,6 +297,8 @@ BusInvertScheme::reset()
     std::fill(_inv_state.begin(), _inv_state.end(), false);
     std::fill(_skip_state.begin(), _skip_state.end(), false);
     std::fill(_mode_state.begin(), _mode_state.end(), 0);
+    std::fill(_seg_old.begin(), _seg_old.end(), 0);
+    std::fill(_seg_flags.begin(), _seg_flags.end(), 0);
 }
 
 } // namespace desc::encoding

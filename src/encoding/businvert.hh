@@ -37,9 +37,32 @@ class BusInvertScheme : public TransferScheme
     const char *name() const override;
     void reset() override;
 
+    /** True when transfer() takes the precomputed-table pass. */
+    bool usesTablePath() const { return !_table.empty(); }
+
   private:
     /** Per-segment transmission decision for one beat. */
     enum class SegMode : std::uint8_t { AsIs = 0, Inverted = 1, Skip = 2 };
+
+    /**
+     * Precomputed decision for one (value, old, inv, skip) segment
+     * state: the coded value left on the wires, the chosen mode, the
+     * flip charges, and the new invert/skip line levels packed as
+     * inv | skip << 1 (the same layout the table is indexed by).
+     */
+    struct SegEntry
+    {
+        std::uint8_t coded;
+        std::uint8_t mode; //!< SegMode
+        std::uint8_t data_flips;
+        std::uint8_t ctrl_flips;
+        std::uint8_t skip; //!< 1 when the segment was skipped
+        std::uint8_t flags; //!< new inv | skip << 1
+    };
+
+    TransferResult transferScalar(const BitVec &block);
+    TransferResult transferTable(const BitVec &block);
+    void buildTable();
 
     unsigned _wires;
     unsigned _block_bits;
@@ -53,6 +76,18 @@ class BusInvertScheme : public TransferScheme
     std::vector<bool> _skip_state;    //!< sparse skip line levels
     std::vector<std::uint32_t> _mode_state; //!< encoded mode bus words
     std::vector<SegMode> _seg_modes;  //!< reused per-beat scratch
+
+    /**
+     * Table-pass state: one decision entry per
+     * (value << b | old) << 2 | inv | skip << 1 key, plus byte-wide
+     * mirrors of the wire/line state so the hot loop never touches
+     * the BitVec or the bit-packed bool vectors. Populated only for
+     * small segments (the table is 4^(b+1) entries) when the encoder
+     * mode allows batching; empty otherwise.
+     */
+    std::vector<SegEntry> _table;
+    std::vector<std::uint8_t> _seg_old;   //!< wire levels per segment
+    std::vector<std::uint8_t> _seg_flags; //!< inv | skip << 1 per segment
 };
 
 } // namespace desc::encoding

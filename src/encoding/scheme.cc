@@ -1,8 +1,44 @@
 #include "encoding/scheme.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "common/log.hh"
 
 namespace desc::encoding {
+
+namespace {
+
+std::optional<EncoderMode> g_encoder_mode_override;
+
+} // namespace
+
+void
+setDefaultEncoderMode(std::optional<EncoderMode> mode)
+{
+    g_encoder_mode_override = mode;
+}
+
+EncoderMode
+defaultEncoderMode()
+{
+    if (g_encoder_mode_override)
+        return *g_encoder_mode_override;
+    static const EncoderMode env_mode = [] {
+        const char *env = std::getenv("DESC_ENCODER_MODE");
+        if (!env || !*env || !std::strcmp(env, "auto"))
+            return EncoderMode::Auto;
+        if (!std::strcmp(env, "scalar"))
+            return EncoderMode::Scalar;
+        if (!std::strcmp(env, "batched"))
+            return EncoderMode::Batched;
+        warnOnce("desc-encoder-mode",
+                 std::string("DESC_ENCODER_MODE=") + env
+                     + " not recognized (auto|scalar|batched); using auto");
+        return EncoderMode::Auto;
+    }();
+    return env_mode;
+}
 
 const char *
 schemeName(SchemeKind kind)

@@ -12,9 +12,16 @@ const cache::Block512 &
 ValueBackingStore::fetch(Addr block_addr)
 {
     auto it = _mem.find(block_addr);
-    if (it == _mem.end())
-        it = _mem.emplace(block_addr, _model.block(block_addr)).first;
-    return it->second;
+    if (it != _mem.end())
+        return it->second;
+    // A block that was never written back holds exactly the value
+    // model's contents — a pure function of the address — so there is
+    // nothing to remember. Synthesizing into a scratch slot instead
+    // of pinning a map node per touched block keeps the warmup and
+    // teardown of short samples off the hash table entirely. The
+    // returned reference is valid until the next fetch().
+    _gen = _model.block(block_addr);
+    return _gen;
 }
 
 void

@@ -32,19 +32,19 @@ TEST(SetAssocArray, GeometryDerivation)
 TEST(SetAssocArray, LookupMissesOnEmpty)
 {
     Array a(16 * 1024, 4, 64);
-    EXPECT_EQ(a.lookup(0x1000), nullptr);
+    EXPECT_EQ(a.lookup(0x1000), Array::kNoWay);
 }
 
 TEST(SetAssocArray, FillThenHit)
 {
     Array a(16 * 1024, 4, 64);
-    auto &v = a.victim(0x1000);
+    auto v = a.victim(0x1000);
     a.fill(v, 0x1000);
-    auto *line = a.lookup(0x1000);
-    ASSERT_NE(line, nullptr);
-    EXPECT_EQ(a.addrOf(*line, a.setOf(0x1000)), 0x1000u);
+    auto way = a.lookup(0x1000);
+    ASSERT_NE(way, Array::kNoWay);
+    EXPECT_EQ(a.addrOf(way), 0x1000u);
     // Offsets within the block hit the same line.
-    EXPECT_EQ(a.lookup(0x1008), line);
+    EXPECT_EQ(a.lookup(0x1008), way);
 }
 
 TEST(SetAssocArray, DistinctTagsSameSet)
@@ -54,8 +54,8 @@ TEST(SetAssocArray, DistinctTagsSameSet)
     Addr a1 = 0x1000, a2 = 0x1000 + 4096;
     a.fill(a.victim(a1), a1);
     a.fill(a.victim(a2), a2);
-    EXPECT_NE(a.lookup(a1), nullptr);
-    EXPECT_NE(a.lookup(a2), nullptr);
+    EXPECT_NE(a.lookup(a1), Array::kNoWay);
+    EXPECT_NE(a.lookup(a2), Array::kNoWay);
     EXPECT_NE(a.lookup(a1), a.lookup(a2));
 }
 
@@ -68,18 +68,18 @@ TEST(SetAssocArray, LruEviction)
         a.fill(a.victim(addr), addr);
     }
     // Touch way 0 so way 1 becomes LRU.
-    a.touch(*a.lookup(0x1000));
+    a.touch(a.lookup(0x1000));
     Addr newcomer = 0x1000 + 4 * 4096;
-    auto &v = a.victim(newcomer);
-    EXPECT_EQ(a.addrOf(v, a.setOf(newcomer)), 0x1000u + 4096u);
+    auto v = a.victim(newcomer);
+    EXPECT_EQ(a.addrOf(v), 0x1000u + 4096u);
 }
 
 TEST(SetAssocArray, InvalidWayPreferredOverEviction)
 {
     Array a(16 * 1024, 4, 64);
     a.fill(a.victim(0x1000), 0x1000);
-    auto &v = a.victim(0x1000 + 4096);
-    EXPECT_FALSE(v.valid);
+    auto v = a.victim(0x1000 + 4096);
+    EXPECT_FALSE(a.valid(v));
 }
 
 TEST(SetAssocArray, VictimPreferringAvoidsPinnedLines)
@@ -87,14 +87,13 @@ TEST(SetAssocArray, VictimPreferringAvoidsPinnedLines)
     Array a(16 * 1024, 4, 64);
     for (unsigned i = 0; i < 4; i++) {
         Addr addr = 0x1000 + Addr(i) * 4096;
-        auto &line = a.victim(addr);
-        a.fill(line, addr);
-        line.meta.pinned = i != 2; // only way 2 is unpinned
+        auto way = a.victim(addr);
+        a.fill(way, addr);
+        a.meta(way).pinned = i != 2; // only way 2 is unpinned
     }
-    auto &v = a.victimPreferring(
-        0x1000 + 5 * 4096,
-        [](const Array::Line &l) { return l.meta.pinned; });
-    EXPECT_EQ(a.addrOf(v, a.setOf(0x1000)), 0x1000u + 2 * 4096u);
+    auto v = a.victimPreferring(
+        0x1000 + 5 * 4096, [](const Meta &m) { return m.pinned; });
+    EXPECT_EQ(a.addrOf(v), 0x1000u + 2 * 4096u);
 }
 
 TEST(SetAssocArray, VictimPreferringFallsBackToLru)
@@ -102,22 +101,22 @@ TEST(SetAssocArray, VictimPreferringFallsBackToLru)
     Array a(16 * 1024, 4, 64);
     for (unsigned i = 0; i < 4; i++) {
         Addr addr = 0x1000 + Addr(i) * 4096;
-        auto &line = a.victim(addr);
-        a.fill(line, addr);
-        line.meta.pinned = true;
+        auto way = a.victim(addr);
+        a.fill(way, addr);
+        a.meta(way).pinned = true;
     }
-    auto &v = a.victimPreferring(
-        0x1000, [](const Array::Line &l) { return l.meta.pinned; });
+    auto v = a.victimPreferring(0x1000,
+                                [](const Meta &m) { return m.pinned; });
     // Everything pinned: plain LRU (way 0, the oldest fill).
-    EXPECT_EQ(a.addrOf(v, a.setOf(0x1000)), 0x1000u);
+    EXPECT_EQ(a.addrOf(v), 0x1000u);
 }
 
 TEST(SetAssocArray, InvalidateFreesTheLine)
 {
     Array a(16 * 1024, 4, 64);
     a.fill(a.victim(0x2000), 0x2000);
-    a.invalidate(*a.lookup(0x2000));
-    EXPECT_EQ(a.lookup(0x2000), nullptr);
+    a.invalidate(a.lookup(0x2000));
+    EXPECT_EQ(a.lookup(0x2000), Array::kNoWay);
 }
 
 TEST(SetAssocArray, ForEachVisitsAllValidLines)
@@ -127,6 +126,6 @@ TEST(SetAssocArray, ForEachVisitsAllValidLines)
     a.fill(a.victim(0x40), 0x40);
     a.fill(a.victim(0x80), 0x80);
     unsigned count = 0;
-    a.forEach([&](Array::Line &, unsigned) { count++; });
+    a.forEach([&](Array::Way) { count++; });
     EXPECT_EQ(count, 3u);
 }

@@ -54,7 +54,7 @@ struct Fixture
     void
     read(unsigned core, Addr addr)
     {
-        auto lat = mem->access(core, addr, false, 0, false, []() {});
+        auto lat = mem->access(core, addr, false, 0, false, DoneCb{});
         if (!lat)
             eq.run();
     }
@@ -62,7 +62,7 @@ struct Fixture
     void
     write(unsigned core, Addr addr, std::uint64_t value)
     {
-        auto lat = mem->access(core, addr, true, value, false, []() {});
+        auto lat = mem->access(core, addr, true, value, false, DoneCb{});
         if (!lat)
             eq.run();
     }

@@ -58,33 +58,53 @@ struct Fixture
         mem = std::make_unique<MemHierarchy>(eq, cfg, backing, cores);
     }
 
+    Cycle done_at = 0;
+
+    /** Callback stamping the fixture's completion time. */
+    DoneCb
+    stampDone()
+    {
+        return {[](void *c, unsigned) {
+                    auto *f = static_cast<Fixture *>(c);
+                    f->done_at = f->eq.now();
+                },
+                this, 0};
+    }
+
     /** Blocking read; returns the completion latency in cycles. */
     Cycle
     read(unsigned core, Addr addr)
     {
         Cycle start = eq.now();
-        Cycle end = 0;
-        auto lat = mem->access(core, addr, false, 0, false,
-                               [&]() { end = eq.now(); });
+        done_at = 0;
+        auto lat = mem->access(core, addr, false, 0, false, stampDone());
         if (lat)
             return *lat;
         eq.run();
-        return end - start;
+        return done_at - start;
     }
 
     Cycle
     write(unsigned core, Addr addr, std::uint64_t value)
     {
         Cycle start = eq.now();
-        Cycle end = 0;
+        done_at = 0;
         auto lat = mem->access(core, addr, true, value, false,
-                               [&]() { end = eq.now(); });
+                               stampDone());
         if (lat)
             return *lat;
         eq.run();
-        return end - start;
+        return done_at - start;
     }
 };
+
+/** Callback bumping an unsigned counter. */
+DoneCb
+countDone(unsigned *counter)
+{
+    return {[](void *c, unsigned) { ++*static_cast<unsigned *>(c); },
+            counter, 0};
+}
 
 } // namespace
 
@@ -143,8 +163,8 @@ TEST(Hierarchy, MshrMergesConcurrentMisses)
 {
     Fixture f;
     unsigned done = 0;
-    f.mem->access(0, 0x6000, false, 0, false, [&]() { done++; });
-    f.mem->access(1, 0x6000, false, 0, false, [&]() { done++; });
+    f.mem->access(0, 0x6000, false, 0, false, countDone(&done));
+    f.mem->access(1, 0x6000, false, 0, false, countDone(&done));
     f.eq.run();
     EXPECT_EQ(done, 2u);
     // One miss, one DRAM fetch, one fill; the second request merged.

@@ -51,6 +51,18 @@ HOT_PATH_FILES = [
     "src/core/linkscheme.cc",
     "src/core/transmitter.cc",
     "src/core/receiver.cc",
+    # The batched encoder passes (word-at-a-time SWAR loops).
+    "src/encoding/swar.hh",
+    "src/encoding/scheme.cc",
+    # The flattened L2 transaction engine: events come from per-bank
+    # pools, block payloads live in the set-associative arrays.
+    "src/cache/array.hh",
+    "src/cache/blockdata.hh",
+    "src/cache/hierarchy.cc",
+    # The instruction-batch core fast-forward: replay/chain loops run
+    # per retired burst and must reuse the cores' own buffers.
+    "src/cpu/inorder.cc",
+    "src/cpu/ooo.cc",
 ]
 
 SRC_EXTENSIONS = {".cc", ".hh"}
@@ -412,6 +424,7 @@ FIXTURE_EXPECT = {
     "fixtures/bad/hotpath.hh": {
         "hot-path-alloc", "include-guard", "contract-include"},
     "fixtures/bad/fastpath.cc": {"hot-path-alloc"},
+    "fixtures/bad/batched.cc": {"hot-path-alloc"},
     "fixtures/bad/stats_use.cc": {"stat-description"},
     "fixtures/bad/tracing.cc": {"trace-channel"},
     "fixtures/bad/profiling.cc": {"prof-component"},
