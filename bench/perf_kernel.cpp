@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cache/l2mode.hh"
+#include "common/env.hh"
 #include "common/prof.hh"
 #include "common/rng.hh"
 #include "core/chunk.hh"
@@ -37,6 +38,33 @@ double
 secondsSince(Clock::time_point t0)
 {
     return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/**
+ * Steady-state contract of the desc::env registry: every knob a hot
+ * component consults is memoized at its call site, so a measured
+ * region performs zero environment lookups. Each kernel snapshots
+ * the registry's lookup counter before its timed loop and fails the
+ * bench if the counter moved.
+ */
+std::uint64_t
+envReads()
+{
+    return env::lookupCount();
+}
+
+void
+assertNoEnvReads(std::uint64_t before, const char *what)
+{
+    const std::uint64_t moved = env::lookupCount() - before;
+    if (moved == 0)
+        return;
+    std::fprintf(stderr,
+                 "FAIL: %s performed %llu environment lookups inside "
+                 "the measured region (memoize the knob at its call "
+                 "site)\n",
+                 what, (unsigned long long)moved);
+    std::exit(1);
 }
 
 /**
@@ -77,10 +105,12 @@ benchEventQueue(std::uint64_t target_events)
     }
 
     auto t0 = Clock::now();
+    auto reads = envReads();
     std::uint64_t executed = 0;
     while (executed < target_events)
         executed += eq.run(eq.now() + 4096);
     double dt = secondsSince(t0);
+    assertNoEnvReads(reads, "eventq kernel");
     stop = true;
     eq.run();
     return double(executed) / dt;
@@ -129,9 +159,11 @@ benchLink(std::uint64_t blocks_n)
     auto blocks = makeBlocks(4);
     std::uint64_t sink = 0;
     auto t0 = Clock::now();
+    auto reads = envReads();
     for (std::uint64_t i = 0; i < blocks_n; i++)
         sink += link.transferBlock(blocks[i & 63]).cycles;
     double dt = secondsSince(t0);
+    assertNoEnvReads(reads, "link fast-path kernel");
     if (sink == 0)
         std::fprintf(stderr, "impossible\n");
     return double(blocks_n) / dt;
@@ -147,9 +179,11 @@ benchLinkTicked(std::uint64_t blocks_n)
     auto blocks = makeBlocks(4);
     std::uint64_t sink = 0;
     auto t0 = Clock::now();
+    auto reads = envReads();
     for (std::uint64_t i = 0; i < blocks_n; i++)
         sink += link.transferBlock(blocks[i & 63]).cycles;
     double dt = secondsSince(t0);
+    assertNoEnvReads(reads, "link ticked kernel");
     if (sink == 0)
         std::fprintf(stderr, "impossible\n");
     return double(blocks_n) / dt;
@@ -162,9 +196,11 @@ benchScheme(std::uint64_t blocks_n)
     auto blocks = makeBlocks(4);
     std::uint64_t sink = 0;
     auto t0 = Clock::now();
+    auto reads = envReads();
     for (std::uint64_t i = 0; i < blocks_n; i++)
         sink += scheme.transfer(blocks[i & 63]).cycles;
     double dt = secondsSince(t0);
+    assertNoEnvReads(reads, "scheme kernel");
     if (sink == 0)
         std::fprintf(stderr, "impossible\n");
     return double(blocks_n) / dt;
@@ -176,9 +212,11 @@ benchChunkStats(std::uint64_t blocks_n)
     core::ChunkStats stats(4, 128);
     auto blocks = makeBlocks(4);
     auto t0 = Clock::now();
+    auto reads = envReads();
     for (std::uint64_t i = 0; i < blocks_n; i++)
         stats.observe(blocks[i & 63]);
     double dt = secondsSince(t0);
+    assertNoEnvReads(reads, "chunkstats kernel");
     if (stats.totalChunks() == 0)
         std::fprintf(stderr, "impossible\n");
     return double(blocks_n) / dt;
@@ -199,6 +237,7 @@ benchRunSystem(std::uint64_t insts, unsigned reps, std::uint64_t *cycles)
     auto cfg = benchSystemConfig(insts);
 
     double best = 0.0;
+    auto reads = envReads();
     for (unsigned r = 0; r < reps; r++) {
         auto t0 = Clock::now();
         auto result = sim::runSystem(cfg);
@@ -207,6 +246,9 @@ benchRunSystem(std::uint64_t insts, unsigned reps, std::uint64_t *cycles)
         if (rate > best)
             best = rate;
     }
+    // Depends on the warm-up run in main() having already triggered
+    // every lazily-memoized knob runSystem consults.
+    assertNoEnvReads(reads, "runsystem");
     return best;
 }
 
@@ -249,11 +291,13 @@ benchProfOverheadPct(std::uint64_t insts, double disabled_rate,
     const std::uint64_t iters = quick ? 5'000'000 : 50'000'000;
     prof::setEnabled(false);
     auto t0 = Clock::now();
+    auto reads = envReads();
     for (std::uint64_t i = 0; i < iters; i++) {
         DESC_PROF_SCOPE(Encoder);
         asm volatile("" ::: "memory");
     }
     double ns_per_scope = secondsSince(t0) * 1e9 / double(iters);
+    assertNoEnvReads(reads, "disabled-profiler scope loop");
 
     // Scopes executed by one runsystem workload, counted live.
     auto cfg = benchSystemConfig(insts);
@@ -283,7 +327,16 @@ main(int argc, char **argv)
         if (std::strcmp(argv[i], "--out") == 0)
             out = argv[i + 1];
     }
-    bool quick = std::getenv("DESC_BENCH_QUICK") != nullptr;
+    bool quick = desc::env::isSet(desc::env::Var::BenchQuick);
+
+    // One throwaway run touches every lazily-memoized knob (engine
+    // modes, sim scale, trace mask, profiler spec, snapshot cadence)
+    // so the measured regions below can hold the registry's
+    // steady-state contract: zero environment reads.
+    {
+        auto cfg = benchSystemConfig(200);
+        (void)sim::runSystem(cfg);
+    }
 
     std::uint64_t ev_n = quick ? 200'000 : 2'000'000;
     std::uint64_t link_n = quick ? 20'000 : 200'000;

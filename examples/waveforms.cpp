@@ -16,10 +16,10 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
 #include "core/chunk.hh"
 #include "core/link.hh"
 #include "sim/vcd.hh"
@@ -123,9 +123,8 @@ main()
          {5, 1, 5, 2}, {}},
     };
 
-    const char *vcd_env = std::getenv("DESC_VCD_OUT");
-    std::string vcd_path = vcd_env && *vcd_env ? vcd_env
-                                               : "waveforms.vcd";
+    std::string vcd_path =
+        desc::env::stringOr(desc::env::Var::VcdOut, "waveforms.vcd");
     sim::VcdWriter vcd;
     bool vcd_ok = vcd.open(vcd_path);
     if (vcd_ok) {

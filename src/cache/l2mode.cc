@@ -1,10 +1,6 @@
 #include "cache/l2mode.hh"
 
-#include <cstdlib>
-#include <cstring>
-#include <string>
-
-#include "common/log.hh"
+#include "common/env.hh"
 
 namespace desc::cache {
 
@@ -26,17 +22,13 @@ defaultL2Mode()
     if (g_l2_mode_override)
         return *g_l2_mode_override;
     static const L2Mode env_mode = [] {
-        const char *env = std::getenv("DESC_L2_MODE");
-        if (!env || !*env || !std::strcmp(env, "auto"))
-            return L2Mode::Auto;
-        if (!std::strcmp(env, "flat"))
-            return L2Mode::Flat;
-        if (!std::strcmp(env, "event"))
-            return L2Mode::Event;
-        warnOnce("desc-l2-mode",
-                 std::string("DESC_L2_MODE=") + env
-                     + " not recognized (auto|flat|event); using auto");
-        return L2Mode::Auto;
+        static const env::EnumName kWords[] = {
+            {"auto", int(L2Mode::Auto)},
+            {"flat", int(L2Mode::Flat)},
+            {"event", int(L2Mode::Event)},
+        };
+        return L2Mode(env::enumOr(env::Var::L2Mode, kWords, 3,
+                                  int(L2Mode::Auto)));
     }();
     return env_mode;
 }

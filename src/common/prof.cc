@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/contract.hh"
+#include "common/env.hh"
 #include "common/log.hh"
 
 namespace desc::prof {
@@ -242,7 +243,7 @@ flushAtExit()
 namespace detail {
 
 std::atomic<bool> live = [] {
-    bool on = parseProfSpec(std::getenv("DESC_PROF"));
+    bool on = parseProfSpec(env::raw(env::Var::Prof));
     if (outputEnabled()) {
         on = true; // DESC_PROF_OUT implies profiling
         g_capture.store(true, std::memory_order_relaxed);
@@ -360,17 +361,8 @@ setEnabled(bool on)
 bool
 parseProfSpec(const char *spec)
 {
-    if (!spec || !*spec)
-        return false;
-    if (std::strcmp(spec, "0") == 0)
-        return false;
-    if (std::strcmp(spec, "1") == 0)
-        return true;
-    warnOnce(desc::detail::concat("desc-prof-", spec),
-             desc::detail::concat("ignoring invalid DESC_PROF=\"", spec,
-                                  "\" (want 0 or 1); profiling stays "
-                                  "off"));
-    return false;
+    return env::parseBool(env::Var::Prof, spec, false,
+                          "; profiling stays off");
 }
 
 Profile
@@ -433,10 +425,8 @@ lastRunProfile(Profile *out, std::string *label)
 const std::string &
 outputPath()
 {
-    static const std::string path = [] {
-        const char *p = std::getenv("DESC_PROF_OUT");
-        return std::string(p ? p : "");
-    }();
+    static const std::string path =
+        env::stringOr(env::Var::ProfOut, "");
     return path;
 }
 

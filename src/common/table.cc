@@ -2,9 +2,9 @@
 
 #include <cstdio>
 #include <cstdint>
-#include <cstdlib>
 
 #include "common/contract.hh"
+#include "common/env.hh"
 #include "common/log.hh"
 
 namespace desc {
@@ -57,7 +57,7 @@ Table::print(const std::string &title) const
         std::printf("== %s ==\n", title.c_str());
 
     // Machine-readable mirror for downstream tooling.
-    if (std::getenv("DESC_TABLE_CSV")) {
+    if (env::isSet(env::Var::TableCsv)) {
         std::fputs(toCsv().c_str(), stdout);
         std::printf("\n");
         return;

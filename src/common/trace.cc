@@ -1,9 +1,9 @@
 #include "common/trace.hh"
 
-#include <cstdlib>
 #include <cstring>
 
 #include "common/contract.hh"
+#include "common/env.hh"
 
 namespace desc::trace {
 
@@ -22,7 +22,7 @@ std::FILE *
 defaultStream()
 {
     static std::FILE *f = [] {
-        const char *path = std::getenv("DESC_TRACE_FILE");
+        const char *path = env::raw(env::Var::TraceFile);
         if (!path || !*path)
             return stderr;
         std::FILE *out = std::fopen(path, "w");
@@ -65,7 +65,7 @@ write(Channel c, const char *cycle_field, const std::string &msg)
 namespace detail {
 
 std::atomic<std::uint32_t> mask = [] {
-    return parseSpec(std::getenv("DESC_TRACE"));
+    return parseSpec(env::raw(env::Var::Trace));
 }();
 
 } // namespace detail

@@ -20,7 +20,9 @@ splitChunks(const BitVec &block, unsigned chunk_bits)
     DESC_ASSERT(block.width() % chunk_bits == 0,
                 "block width not divisible by chunk size");
     unsigned n = block.width() / chunk_bits;
-    std::vector<std::uint8_t> chunks(n);
+    // Test/example convenience, not transfer-path work; the link's
+    // fast path never materializes chunk vectors.
+    std::vector<std::uint8_t> chunks(n); // analyze:allow(hot-path-alloc)
     BitCursor cur(block);
     for (unsigned i = 0; i < n; i++)
         chunks[i] = std::uint8_t(cur.next(chunk_bits));

@@ -1,9 +1,7 @@
 #include "core/link.hh"
 
-#include <cstdlib>
-#include <cstring>
-
 #include "common/contract.hh"
+#include "common/env.hh"
 #include "common/log.hh"
 #include "common/prof.hh"
 #include "common/trace.hh"
@@ -28,17 +26,13 @@ defaultLinkMode()
     if (g_link_mode_override)
         return *g_link_mode_override;
     static const LinkMode mode = [] {
-        const char *env = std::getenv("DESC_LINK_MODE");
-        if (!env || !*env || !std::strcmp(env, "auto"))
-            return LinkMode::Auto;
-        if (!std::strcmp(env, "ticked"))
-            return LinkMode::Ticked;
-        if (!std::strcmp(env, "fast"))
-            return LinkMode::Fast;
-        warnOnce("desc-link-mode",
-                 std::string("DESC_LINK_MODE=") + env
-                     + " not recognized (auto|ticked|fast); using auto");
-        return LinkMode::Auto;
+        static const env::EnumName kWords[] = {
+            {"auto", int(LinkMode::Auto)},
+            {"ticked", int(LinkMode::Ticked)},
+            {"fast", int(LinkMode::Fast)},
+        };
+        return LinkMode(env::enumOr(env::Var::LinkMode, kWords, 3,
+                                    int(LinkMode::Auto)));
     }();
     return mode;
 }

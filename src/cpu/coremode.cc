@@ -1,10 +1,6 @@
 #include "cpu/coremode.hh"
 
-#include <cstdlib>
-#include <cstring>
-#include <string>
-
-#include "common/log.hh"
+#include "common/env.hh"
 
 namespace desc::cpu {
 
@@ -26,17 +22,13 @@ defaultCoreMode()
     if (g_core_mode_override)
         return *g_core_mode_override;
     static const CoreMode env_mode = [] {
-        const char *env = std::getenv("DESC_CORE_MODE");
-        if (!env || !*env || !std::strcmp(env, "auto"))
-            return CoreMode::Auto;
-        if (!std::strcmp(env, "fast"))
-            return CoreMode::Fast;
-        if (!std::strcmp(env, "ticked"))
-            return CoreMode::Ticked;
-        warnOnce("desc-core-mode",
-                 std::string("DESC_CORE_MODE=") + env
-                     + " not recognized (auto|fast|ticked); using auto");
-        return CoreMode::Auto;
+        static const env::EnumName kWords[] = {
+            {"auto", int(CoreMode::Auto)},
+            {"fast", int(CoreMode::Fast)},
+            {"ticked", int(CoreMode::Ticked)},
+        };
+        return CoreMode(env::enumOr(env::Var::CoreMode, kWords, 3,
+                                    int(CoreMode::Auto)));
     }();
     return env_mode;
 }

@@ -1,9 +1,6 @@
 #include "encoding/scheme.hh"
 
-#include <cstdlib>
-#include <cstring>
-
-#include "common/log.hh"
+#include "common/env.hh"
 
 namespace desc::encoding {
 
@@ -25,17 +22,13 @@ defaultEncoderMode()
     if (g_encoder_mode_override)
         return *g_encoder_mode_override;
     static const EncoderMode env_mode = [] {
-        const char *env = std::getenv("DESC_ENCODER_MODE");
-        if (!env || !*env || !std::strcmp(env, "auto"))
-            return EncoderMode::Auto;
-        if (!std::strcmp(env, "scalar"))
-            return EncoderMode::Scalar;
-        if (!std::strcmp(env, "batched"))
-            return EncoderMode::Batched;
-        warnOnce("desc-encoder-mode",
-                 std::string("DESC_ENCODER_MODE=") + env
-                     + " not recognized (auto|scalar|batched); using auto");
-        return EncoderMode::Auto;
+        static const env::EnumName kWords[] = {
+            {"auto", int(EncoderMode::Auto)},
+            {"scalar", int(EncoderMode::Scalar)},
+            {"batched", int(EncoderMode::Batched)},
+        };
+        return EncoderMode(env::enumOr(env::Var::EncoderMode, kWords,
+                                       3, int(EncoderMode::Auto)));
     }();
     return env_mode;
 }

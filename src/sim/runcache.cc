@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/log.hh"
 #include "common/prof.hh"
 #include "common/trace.hh"
@@ -396,7 +397,7 @@ emitManifestLine(const SystemConfig &cfg, const AppRun &run,
     std::lock_guard<std::mutex> lock(manifest_mutex);
 
     static std::FILE *file = []() -> std::FILE * {
-        const char *p = std::getenv("DESC_RUN_MANIFEST");
+        const char *p = env::raw(env::Var::RunManifest);
         if (!p || !*p)
             return nullptr;
         std::FILE *f = std::fopen(p, "a");
@@ -461,12 +462,10 @@ RunCache::RunCache(std::string dir) : _dir(std::move(dir))
 RunCache
 RunCache::fromEnv()
 {
-    if (const char *toggle = std::getenv("DESC_SIM_CACHE")) {
-        if (std::strcmp(toggle, "0") == 0)
-            return RunCache("");
-    }
-    const char *dir = std::getenv("DESC_SIM_CACHE_DIR");
-    return RunCache(dir && *dir ? dir : ".desc-runcache");
+    if (!env::enabledNotZero(env::Var::SimCache))
+        return RunCache("");
+    return RunCache(
+        env::stringOr(env::Var::SimCacheDir, ".desc-runcache"));
 }
 
 std::string

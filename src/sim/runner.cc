@@ -1,12 +1,10 @@
 #include "sim/runner.hh"
 
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
 #include "common/contract.hh"
+#include "common/env.hh"
 #include "common/log.hh"
 #include "common/prof.hh"
 #include "common/trace.hh"
@@ -17,22 +15,12 @@ namespace desc::sim {
 unsigned
 Runner::defaultJobs()
 {
-    if (const char *env = std::getenv("DESC_SIM_JOBS")) {
-        char *end = nullptr;
-        errno = 0;
-        unsigned long v = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && errno == 0 && v >= 1
-            && v <= 4096)
-            return unsigned(v);
-        // Once per process: every Runner construction re-reads the
-        // environment, and a sweep can build many runners.
-        warnOnce(detail::concat("desc-sim-jobs-", env),
-                 detail::concat("ignoring invalid DESC_SIM_JOBS=\"",
-                                env,
-                                "\" (want an integer in [1, 4096])"));
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    // The registry warns once per process and value: every Runner
+    // construction re-reads the environment, and a sweep can build
+    // many runners.
+    return unsigned(
+        env::uintOr(env::Var::SimJobs, hw ? hw : 1, 1, 4096));
 }
 
 Runner::Runner(unsigned jobs)

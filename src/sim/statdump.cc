@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/trace.hh"
 
 namespace desc::sim {
@@ -419,10 +419,8 @@ sidecar()
 const std::string &
 sidecarPath()
 {
-    static const std::string path = [] {
-        const char *p = std::getenv("DESC_STATS_OUT");
-        return std::string(p ? p : "");
-    }();
+    static const std::string path =
+        env::stringOr(env::Var::StatsOut, "");
     return path;
 }
 

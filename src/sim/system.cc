@@ -1,13 +1,12 @@
 #include "sim/system.hh"
 
 #include <array>
-#include <cstdlib>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <string_view>
 
 #include "common/contract.hh"
+#include "common/env.hh"
 #include "cpu/inorder.hh"
 #include "cpu/ooo.hh"
 #include "sim/timeseries.hh"
@@ -41,10 +40,8 @@ std::map<WarmupKey, std::shared_ptr<const cache::MemHierarchy::WarmupState>>
 bool
 warmupCacheEnabled()
 {
-    static const bool enabled = [] {
-        const char *env = std::getenv("DESC_WARMUP_CACHE");
-        return env == nullptr || std::string_view(env) != "0";
-    }();
+    static const bool enabled =
+        env::enabledNotZero(env::Var::WarmupCache);
     return enabled;
 }
 

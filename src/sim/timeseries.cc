@@ -2,14 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/log.hh"
 #include "sim/experiment.hh"
 #include "sim/runcache.hh"
@@ -98,20 +96,8 @@ parseEverySpec(const char *spec)
 {
     if (!spec || !*spec)
         return 0;
-    char *end = nullptr;
-    errno = 0;
-    unsigned long long v = std::strtoull(spec, &end, 10);
-    // strtoull silently wraps negatives; reject any sign explicitly.
-    bool negative = std::strchr(spec, '-') != nullptr;
-    if (end == spec || *end != '\0' || errno != 0 || negative || v < 1
-        || v > kMaxEvery) {
-        warnOnce(detail::concat("desc-stats-every-", spec),
-                 detail::concat("ignoring invalid DESC_STATS_EVERY=\"",
-                                spec, "\" (want an integer in [1, ",
-                                kMaxEvery, "]); snapshots disabled"));
-        return 0;
-    }
-    return v;
+    return env::parseUint(env::Var::StatsEvery, spec, 0, 1, kMaxEvery,
+                          "; snapshots disabled");
 }
 
 std::uint64_t
@@ -120,7 +106,12 @@ everyCycles()
     std::uint64_t o = g_every_override.load(std::memory_order_relaxed);
     if (o != kNoOverride)
         return o;
-    return parseEverySpec(std::getenv("DESC_STATS_EVERY"));
+    // Parsed once: runSystem asks at every run start, and the bench
+    // holds the steady state to zero environment reads (tests pin
+    // the cadence through setEveryForTest, not setenv).
+    static const std::uint64_t every =
+        parseEverySpec(env::raw(env::Var::StatsEvery));
+    return every;
 }
 
 std::string
@@ -151,10 +142,10 @@ csvPath()
     Buffer &b = buffer();
     if (!b.path_override.empty())
         return b.path_override;
-    const char *stats_out = std::getenv("DESC_STATS_OUT");
-    if (!stats_out || !*stats_out)
+    std::string base =
+        env::stringOr(env::Var::StatsOut, "");
+    if (base.empty())
         return "desc-timeseries.csv";
-    std::string base(stats_out);
     std::size_t slash = base.find_last_of('/');
     std::size_t dot = base.find_last_of('.');
     if (dot != std::string::npos

@@ -1,0 +1,14 @@
+// Fixture: raw std::getenv outside src/common/env.cc.
+// Expected finding: env-registry (and nothing else).
+
+#include <cstdlib>
+
+namespace fixture {
+
+const char *
+readKnob()
+{
+    return std::getenv("SOME_UNREGISTERED_KNOB");
+}
+
+} // namespace fixture

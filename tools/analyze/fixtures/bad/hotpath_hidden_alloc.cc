@@ -1,0 +1,38 @@
+// Fixture: allocations the retired token scan could not see.
+// Fixture files count as hot-path files for the analyzer.
+// Expected finding: hot-path-alloc (and nothing else).
+
+#include <functional>
+#include <vector>
+
+namespace fixture {
+
+int
+hiddenLocalContainer(int n)
+{
+    std::vector<int> scratch(std::size_t(n), 0); // per-call heap storage
+    return int(scratch.size());
+}
+
+int
+hiddenFunctionWrapper(int x)
+{
+    // Capturing lambda converted to std::function: type-erased heap
+    // allocation invisible to a token scan.
+    std::function<int(int)> f = [x](int y) { return x + y; };
+    return f(1);
+}
+
+int *
+nakedNew()
+{
+    return new int[4];
+}
+
+void
+nakedDelete(int *p)
+{
+    delete[] p;
+}
+
+} // namespace fixture

@@ -6,7 +6,16 @@ Enforces repo invariants the compiler cannot see:
   hot-path-alloc     no naked new/delete/malloc/free in the event-kernel
                      hot-path files (the kernel is allocation-free in
                      steady state; pooled growth must go through
-                     make_unique / container storage)
+                     make_unique / container storage).  This token scan
+                     is the no-toolchain FALLBACK for desc-analyze's
+                     AST-grade hot-path-alloc check (tools/analyze);
+                     when libclang is available the build passes
+                     --without-ast-superseded and the AST check takes
+                     over
+  env-registry       no raw getenv/setenv outside src/common/env.cc —
+                     every DESC_* knob is declared once in
+                     src/common/env_registry.def and read through the
+                     typed desc::env registry
   stat-description   every StatRegistry registration carries a
                      non-empty description (the registry is the single
                      source of truth for reported numbers)
@@ -30,6 +39,10 @@ Usage:
   desc_lint.py [--root DIR]     lint the tree (exit 1 on findings)
   desc_lint.py --self-test      verify the checks against the bundled
                                 fixture files (exit 1 on miss)
+  --without-ast-superseded      skip the token-scan checks that
+                                desc-analyze covers with real ASTs
+                                (passed by the build when libclang is
+                                available)
 """
 
 import argparse
@@ -150,6 +163,22 @@ def line_of(text, pos):
 
 
 # --- checks -------------------------------------------------------
+
+
+GETENV_RE = re.compile(
+    r"(?<![\w.:])(?:std\s*::\s*)?"
+    r"(?:secure_getenv|getenv|setenv|putenv|unsetenv)\s*\(")
+
+
+def check_env_registry(root, rel, text, code, findings):
+    if rel == "src/common/env.cc":
+        return  # the registry's own implementation
+    for m in GETENV_RE.finditer(code):
+        findings.append(Finding(
+            "env-registry", rel, line_of(code, m.start()),
+            "raw environment access outside src/common/env.cc: declare "
+            "the knob in src/common/env_registry.def and read it "
+            "through desc::env"))
 
 
 def check_hot_path_alloc(root, rel, text, code, findings):
@@ -392,6 +421,7 @@ def check_contract_include(root, rel, text, code, findings):
 
 PER_FILE_CHECKS = [
     check_hot_path_alloc,
+    check_env_registry,
     check_stat_descriptions,
     check_determinism,
     check_include_guard,
@@ -399,8 +429,21 @@ PER_FILE_CHECKS = [
     check_contract_include,
 ]
 
+# Token scans that desc-analyze (tools/analyze/desc_analyze.py)
+# re-implements on real ASTs. They stay here as the degraded fallback
+# for toolchains without libclang; a build that has the AST checks
+# passes --without-ast-superseded to retire the duplicates.
+AST_SUPERSEDED_CHECKS = [check_hot_path_alloc]
 
-def lint(root, subdir="src"):
+
+def active_checks(ast_superseded=True):
+    if ast_superseded:
+        return PER_FILE_CHECKS
+    return [c for c in PER_FILE_CHECKS
+            if c not in AST_SUPERSEDED_CHECKS]
+
+
+def lint(root, subdir="src", ast_superseded=True):
     findings = []
     sources = []
     for path in iter_source(root, subdir):
@@ -409,7 +452,7 @@ def lint(root, subdir="src"):
         code = strip_comments(text)
         sources.append((path, rel, text, code))
     for path, rel, text, code in sources:
-        for check in PER_FILE_CHECKS:
+        for check in active_checks(ast_superseded):
             check(root, rel, text, code, findings)
     check_trace_channels(root, findings, sources)
     check_prof_components(root, findings, sources)
@@ -429,6 +472,7 @@ FIXTURE_EXPECT = {
     "fixtures/bad/tracing.cc": {"trace-channel"},
     "fixtures/bad/profiling.cc": {"prof-component"},
     "fixtures/bad/entropy.cc": {"determinism", "test-include"},
+    "fixtures/bad/envknob.cc": {"env-registry"},
     "fixtures/good/clean.hh": set(),
 }
 
@@ -479,6 +523,17 @@ def self_test(tool_root, repo_root):
             print(f"self-test: {rel}: expected checks {sorted(expected)}"
                   f", got {sorted(got)}")
             ok = False
+    # The fallback flag must actually retire the superseded scans and
+    # nothing else.
+    degraded = active_checks(ast_superseded=False)
+    if check_hot_path_alloc in degraded:
+        print("self-test: --without-ast-superseded keeps the "
+              "hot-path-alloc token scan alive")
+        ok = False
+    if set(PER_FILE_CHECKS) - set(degraded) != set(AST_SUPERSEDED_CHECKS):
+        print("self-test: --without-ast-superseded retires checks that "
+              "have no AST replacement")
+        ok = False
     print("self-test:", "ok" if ok else "FAILED")
     return ok
 
@@ -489,6 +544,9 @@ def main():
                     help="repository root (default: two levels up)")
     ap.add_argument("--self-test", action="store_true",
                     help="run the checks against the bundled fixtures")
+    ap.add_argument("--without-ast-superseded", action="store_true",
+                    help="skip token scans that desc-analyze covers "
+                         "with real ASTs (libclang available)")
     args = ap.parse_args()
 
     tool_root = Path(__file__).resolve().parent
@@ -498,13 +556,17 @@ def main():
     if args.self_test:
         sys.exit(0 if self_test(tool_root, root) else 1)
 
-    findings = lint(root)
+    findings = lint(root, ast_superseded=not args.without_ast_superseded)
     for f in findings:
         print(f)
     if findings:
         print(f"desc-lint: {len(findings)} finding(s)")
         sys.exit(1)
-    print("desc-lint: clean")
+    if args.without_ast_superseded:
+        print("desc-lint: clean (hot-path-alloc delegated to "
+              "desc-analyze)")
+    else:
+        print("desc-lint: clean")
 
 
 if __name__ == "__main__":

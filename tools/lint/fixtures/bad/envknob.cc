@@ -1,0 +1,14 @@
+// Fixture: raw environment access outside the desc::env registry.
+// Expected finding: env-registry.
+
+#include <cstdlib>
+
+namespace fixture {
+
+const char *
+knob()
+{
+    return std::getenv("DESC_FIXTURE_KNOB");
+}
+
+} // namespace fixture
