@@ -28,6 +28,7 @@
 #include "sim/eventq.hh"
 #include "sim/experiment.hh"
 #include "sim/system.hh"
+#include "sim/vcd.hh"
 
 using namespace desc;
 using Clock = std::chrono::steady_clock;
@@ -184,6 +185,41 @@ benchLinkTicked(std::uint64_t blocks_n)
         sink += link.transferBlock(blocks[i & 63]).cycles;
     double dt = secondsSince(t0);
     assertNoEnvReads(reads, "link ticked kernel");
+    if (sink == 0)
+        std::fprintf(stderr, "impossible\n");
+    return double(blocks_n) / dt;
+}
+
+double
+benchLinkTickedVcd(std::uint64_t blocks_n, const std::string &scratch)
+{
+    // The ticked loop with a VCD wire observer attached: what a
+    // waveform export costs per block, tracked separately from the
+    // bare ticked loop so the batched emission path (plane-diff
+    // staging, dirty-list timesteps) stays honest.
+    core::DescLink link(linkConfig());
+    link.setMode(core::LinkMode::Ticked);
+    sim::VcdWriter vcd;
+    if (!vcd.open(scratch)) {
+        std::fprintf(stderr, "cannot open VCD scratch file %s\n",
+                     scratch.c_str());
+        std::exit(1);
+    }
+    auto sigs = vcd.addBundle("bench", linkConfig().activeWires());
+    vcd.endHeader();
+    link.setWireHook([&](Cycle t, const core::WireBundle &w) {
+        vcd.sampleBundle(sigs, t, w);
+    });
+    auto blocks = makeBlocks(4);
+    std::uint64_t sink = 0;
+    auto t0 = Clock::now();
+    auto reads = envReads();
+    for (std::uint64_t i = 0; i < blocks_n; i++)
+        sink += link.transferBlock(blocks[i & 63]).cycles;
+    double dt = secondsSince(t0);
+    assertNoEnvReads(reads, "link ticked+vcd kernel");
+    vcd.close();
+    std::remove(scratch.c_str());
     if (sink == 0)
         std::fprintf(stderr, "impossible\n");
     return double(blocks_n) / dt;
@@ -352,6 +388,9 @@ main(int argc, char **argv)
     std::fprintf(stderr, "link:      %12.0f blocks/sec\n", link);
     double link_ticked = benchLinkTicked(link_ticked_n);
     std::fprintf(stderr, "link-tick: %12.0f blocks/sec\n", link_ticked);
+    double link_vcd = benchLinkTickedVcd(link_ticked_n,
+                                         out + ".vcd-scratch");
+    std::fprintf(stderr, "link-vcd:  %12.0f blocks/sec\n", link_vcd);
     double scheme = benchScheme(scheme_n);
     std::fprintf(stderr, "scheme:    %12.0f blocks/sec\n", scheme);
     double cstats = benchChunkStats(stats_n);
@@ -390,6 +429,7 @@ main(int argc, char **argv)
         "    \"eventq_events_per_sec\": %.0f,\n"
         "    \"link_blocks_per_sec\": %.0f,\n"
         "    \"link_ticked_blocks_per_sec\": %.0f,\n"
+        "    \"link_ticked_vcd_blocks_per_sec\": %.0f,\n"
         "    \"scheme_blocks_per_sec\": %.0f,\n"
         "    \"chunkstats_blocks_per_sec\": %.0f,\n"
         "    \"runsystem_cycles_per_sec\": %.0f,\n"
@@ -398,8 +438,9 @@ main(int argc, char **argv)
         "  },\n"
         "  \"check\": { \"runsystem_cycles\": %llu }\n"
         "}\n",
-        quick ? "true" : "false", ev, link, link_ticked, scheme, cstats,
-        rs, rs_ticked, prof_pct, (unsigned long long)cycles);
+        quick ? "true" : "false", ev, link, link_ticked, link_vcd,
+        scheme, cstats, rs, rs_ticked, prof_pct,
+        (unsigned long long)cycles);
     std::fclose(f);
     return 0;
 }

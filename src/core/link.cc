@@ -1,5 +1,7 @@
 #include "core/link.hh"
 
+#include <bit>
+
 #include "common/contract.hh"
 #include "common/env.hh"
 #include "common/log.hh"
@@ -103,7 +105,7 @@ DescLink::transferBlock(const BitVec &block, BitVec *received)
     encoding::TransferResult result;
     _tx.loadBlock(block);
 
-    const unsigned wires = _cfg.activeWires();
+    const unsigned nwords = _cur.data.numWords();
     const Cycle guard = 64 + 2ull * _cfg.numChunks()
         * (std::uint64_t{1} << _cfg.chunk_bits);
 
@@ -115,10 +117,11 @@ DescLink::transferBlock(const BitVec &block, BitVec *received)
         if (_observer)
             _observer(_cycle, _cur);
 
-        // Count transitions against the previous cycle's levels.
-        for (unsigned w = 0; w < wires; w++) {
-            if (_cur.data[w] != _prev.data[w])
-                result.data_flips++;
+        // Count transitions against the previous cycle's levels:
+        // popcounts of the plane XORs.
+        for (unsigned k = 0; k < nwords; k++) {
+            result.data_flips += unsigned(
+                std::popcount(_cur.data.word(k) ^ _prev.data.word(k)));
         }
         if (_cur.reset_skip != _prev.reset_skip)
             result.control_flips++;

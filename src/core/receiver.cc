@@ -1,6 +1,7 @@
 #include "core/receiver.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/contract.hh"
 #include "common/trace.hh"
@@ -10,13 +11,14 @@
 namespace desc::core {
 
 DescReceiver::DescReceiver(const DescConfig &cfg)
-    : _cfg(cfg), _data_td(cfg.activeWires()),
+    : _cfg(cfg), _data_bank(cfg.activeWires()),
+      _toggles(cfg.activeWires()),
       _chunks(cfg.numChunks(), 0),
       _last(cfg.activeWires(), 0),
       _adaptive(cfg.activeWires(), cfg.chunk_bits),
-      _elapsed_wire(cfg.activeWires(), 0),
+      _last_strobe(cfg.activeWires(), 0),
       _next_slot(cfg.activeWires(), 0),
-      _got(cfg.activeWires(), false),
+      _got(cfg.activeWires()),
       _skipv(cfg.activeWires(), 0)
 {
     _cfg.validate();
@@ -41,8 +43,8 @@ DescReceiver::openWave()
     _wave_open = true;
     _elapsed = 0;
     _wave_got = 0;
+    _got.clear();
     unsigned wires = _cfg.activeWires();
-    std::fill(_got.begin(), _got.begin() + wires, false);
     for (unsigned w = 0; w < wires; w++)
         _skipv[w] = skipValueFor(w);
 }
@@ -81,36 +83,42 @@ DescReceiver::observe(const WireBundle &wires_in)
     _sync_td.sample(wires_in.sync);
 
     // Sample every detector first so levels stay coherent even on
-    // cycles we otherwise ignore.
-    static thread_local std::vector<bool> toggles;
-    toggles.assign(wires, false);
-    for (unsigned w = 0; w < wires; w++)
-        toggles[w] = _data_td[w].sample(wires_in.data[w]);
+    // cycles we otherwise ignore: one plane XOR yields the toggle
+    // mask for the whole bus.
+    _data_bank.sample(wires_in.data, _toggles);
     bool reset_toggled = _reset_td.sample(wires_in.reset_skip);
+
+    const unsigned nwords = _toggles.numWords();
 
     if (_cfg.skip == SkipMode::None) {
         if (reset_toggled) {
             _in_block = true;
             _received = 0;
-            std::fill(_elapsed_wire.begin(), _elapsed_wire.end(), 0);
-            std::fill(_next_slot.begin(), _next_slot.end(), 0);
+            _t_in_block = 0;
+            std::fill(_last_strobe.begin(), _last_strobe.end(), 0u);
+            std::fill(_next_slot.begin(), _next_slot.end(), 0u);
             return;
         }
         if (!_in_block)
             return;
-        for (unsigned w = 0; w < wires; w++) {
-            _elapsed_wire[w]++;
-            if (!toggles[w])
-                continue;
-            std::uint64_t v = decodeCycles(_elapsed_wire[w], false, 0);
-            DESC_ASSERT(v <= _cfg.maxValue(), "decoded value out of range");
-            DESC_ASSERT(_next_slot[w] < _cfg.numWaves(),
-                        "more strobes than chunks on wire ", w);
-            _chunks[_next_slot[w] * wires + w] = std::uint8_t(v);
-            _last[w] = std::uint8_t(v);
-            _next_slot[w]++;
-            _elapsed_wire[w] = 0;
-            _received++;
+        _t_in_block++;
+        for (unsigned k = 0; k < nwords; k++) {
+            std::uint64_t m = _toggles.word(k);
+            while (m) {
+                unsigned w = k * 64 + unsigned(std::countr_zero(m));
+                m &= m - 1;
+                std::uint64_t v = decodeCycles(
+                    _t_in_block - _last_strobe[w], false, 0);
+                DESC_ASSERT(v <= _cfg.maxValue(),
+                            "decoded value out of range");
+                DESC_ASSERT(_next_slot[w] < _cfg.numWaves(),
+                            "more strobes than chunks on wire ", w);
+                _chunks[_next_slot[w] * wires + w] = std::uint8_t(v);
+                _last[w] = std::uint8_t(v);
+                _next_slot[w]++;
+                _last_strobe[w] = _t_in_block;
+                _received++;
+            }
         }
         if (_received == _cfg.numChunks()) {
             _in_block = false;
@@ -124,15 +132,20 @@ DescReceiver::observe(const WireBundle &wires_in)
     // Value-skipped protocol: waves of one chunk per wire.
     if (_wave_open) {
         _elapsed++;
-        for (unsigned w = 0; w < wires; w++) {
-            if (!toggles[w])
-                continue;
-            DESC_ASSERT(!_got[w], "second strobe within a wave on wire ", w);
-            std::uint64_t v = decodeCycles(_elapsed, true, _skipv[w]);
-            DESC_ASSERT(v <= _cfg.maxValue(), "decoded value out of range");
-            _chunks[_wave * wires + w] = std::uint8_t(v);
-            _got[w] = true;
-            _wave_got++;
+        for (unsigned k = 0; k < nwords; k++) {
+            std::uint64_t m = _toggles.word(k);
+            while (m) {
+                unsigned w = k * 64 + unsigned(std::countr_zero(m));
+                m &= m - 1;
+                DESC_ASSERT(!_got[w],
+                            "second strobe within a wave on wire ", w);
+                std::uint64_t v = decodeCycles(_elapsed, true, _skipv[w]);
+                DESC_ASSERT(v <= _cfg.maxValue(),
+                            "decoded value out of range");
+                _chunks[_wave * wires + w] = std::uint8_t(v);
+                _got[w] = true;
+                _wave_got++;
+            }
         }
         // The final wave sends no closing pulse when nothing was
         // skipped; it completes with its last data strobe.
@@ -171,8 +184,7 @@ DescReceiver::fastForwardBlock(const BitVec &block,
 
     // The detectors' delayed copies end at the transmitter's final
     // wire levels, exactly as if each cycle had been sampled.
-    for (unsigned w = 0; w < wires; w++)
-        _data_td[w].prime(final_levels.data[w]);
+    _data_bank.prime(final_levels.data);
     _reset_td.prime(final_levels.reset_skip);
     _sync_td.prime(final_levels.sync);
 
@@ -193,11 +205,11 @@ DescReceiver::fastForwardBlock(const BitVec &block,
     }
 
     if (_cfg.skip == SkipMode::None) {
+        // _t_in_block and _last_strobe stay wherever they are: the
+        // opening pulse of the next ticked block reinitializes them.
         _in_block = false;
         _received = _cfg.numChunks();
         std::fill(_next_slot.begin(), _next_slot.end(), waves);
-        std::copy(plan.final_elapsed.begin(), plan.final_elapsed.end(),
-                  _elapsed_wire.begin());
     } else {
         _wave_open = false;
         _wave = waves;
@@ -226,21 +238,21 @@ DescReceiver::takeBlock()
 void
 DescReceiver::reset()
 {
-    for (auto &td : _data_td)
-        td.reset();
+    _data_bank.reset();
     _reset_td.reset();
     _sync_td.reset();
     std::fill(_chunks.begin(), _chunks.end(), 0);
     std::fill(_last.begin(), _last.end(), 0);
     _ready = false;
     _in_block = false;
-    std::fill(_elapsed_wire.begin(), _elapsed_wire.end(), 0);
-    std::fill(_next_slot.begin(), _next_slot.end(), 0);
+    _t_in_block = 0;
+    std::fill(_last_strobe.begin(), _last_strobe.end(), 0u);
+    std::fill(_next_slot.begin(), _next_slot.end(), 0u);
     _received = 0;
     _wave_open = false;
     _wave = 0;
     _elapsed = 0;
-    std::fill(_got.begin(), _got.end(), false);
+    _got.clear();
     std::fill(_skipv.begin(), _skipv.end(), 0);
     _wave_got = 0;
     _adaptive.reset();

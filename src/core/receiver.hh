@@ -2,13 +2,19 @@
  * @file
  * Cycle-accurate DESC receiver (Sections 3.1, 3.2.2, 3.3).
  *
- * The receiver samples the wire bundle once per cycle through toggle
- * detectors and recovers chunk values from the elapsed cycle counts.
- * Within a cycle, data strobes are processed before the reset/skip
- * strobe, so a wave-closing pulse that is concurrent with the wave's
- * last data strobe is interpreted correctly; a reset/skip pulse fills
- * every still-silent wire of the open wave with its skip value
- * (Figure 11b) and opens the next wave.
+ * The receiver samples the wire bundle once per cycle through a
+ * word-wide toggle-detector bank and recovers chunk values from the
+ * elapsed cycle counts. Within a cycle, data strobes are processed
+ * before the reset/skip strobe, so a wave-closing pulse that is
+ * concurrent with the wave's last data strobe is interpreted
+ * correctly; a reset/skip pulse fills every still-silent wire of the
+ * open wave with its skip value (Figure 11b) and opens the next wave.
+ *
+ * The receiver stays a true per-cycle FSM — fault hooks may mutate
+ * any wire at any cycle, so nothing can be precomputed — but each
+ * cycle's work is SWAR (DESIGN.md §15): one plane XOR finds every
+ * toggled wire and a count-trailing-zeros loop visits only those, in
+ * ascending wire order just like the old per-wire scan.
  */
 
 #ifndef DESC_CORE_RECEIVER_HH
@@ -80,18 +86,24 @@ class DescReceiver
     /** Lifetime observed-cycle count (trace timestamps only). */
     std::uint64_t _ticks = 0;
 
-    std::vector<ToggleDetector> _data_td;
+    ToggleDetectorBank _data_bank;
     ToggleDetector _reset_td;
     ToggleDetector _sync_td;
+
+    /** Per-cycle toggle plane (detector-bank output scratch). */
+    WirePlane _toggles;
 
     std::vector<std::uint8_t> _chunks;
     std::vector<std::uint8_t> _last;
     AdaptiveTracker _adaptive;
     bool _ready = false;
 
-    // Basic (no-skip) mode.
+    // Basic (no-skip) mode: a wire's elapsed count is the block-local
+    // time minus its last strobe time (both reinitialized by the
+    // opening reset pulse).
     bool _in_block = false;
-    std::vector<unsigned> _elapsed_wire;
+    unsigned _t_in_block = 0;
+    std::vector<unsigned> _last_strobe;
     std::vector<unsigned> _next_slot;
     unsigned _received = 0;
 
@@ -99,7 +111,7 @@ class DescReceiver
     bool _wave_open = false;
     unsigned _wave = 0;
     unsigned _elapsed = 0;
-    std::vector<bool> _got;
+    WirePlane _got;
     std::vector<std::uint8_t> _skipv;
     unsigned _wave_got = 0;
 };

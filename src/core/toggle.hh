@@ -11,6 +11,10 @@
 #ifndef DESC_CORE_TOGGLE_HH
 #define DESC_CORE_TOGGLE_HH
 
+#include <cstdint>
+
+#include "core/wires.hh"
+
 namespace desc::core {
 
 /**
@@ -67,6 +71,86 @@ class ToggleDetector
 
   private:
     bool _prev = false;
+};
+
+/**
+ * A whole bank of toggle generators advanced word-wide (Figure 8a,
+ * one lane per data wire): the driven levels live in a packed
+ * WirePlane and firing any subset of lanes is a single XOR of a fire
+ * mask into the plane (DESIGN.md §15). Behaviorally identical to one
+ * ToggleGenerator per lane.
+ */
+class ToggleGeneratorBank
+{
+  public:
+    explicit ToggleGeneratorBank(unsigned lanes) : _levels(lanes) {}
+
+    /** Fire every lane whose bit is set in @p mask. */
+    void fire(const WirePlane &mask) { _levels.toggle(mask); }
+
+    /** Fire lanes [64*word, 64*word+63] selected by @p mask. */
+    void
+    fireWord(unsigned word, std::uint64_t mask)
+    {
+        _levels.mutableWords()[word] ^= mask;
+    }
+
+    /**
+     * Apply a whole transfer's strobes at once: XOR in the per-lane
+     * strobe parity (link fast path).
+     */
+    void fastForward(const WirePlane &odd) { _levels.toggle(odd); }
+
+    const WirePlane &levels() const { return _levels; }
+    bool level(unsigned lane) const { return _levels[lane]; }
+
+    void reset() { _levels.clear(); }
+
+  private:
+    WirePlane _levels;
+};
+
+/**
+ * A whole bank of toggle detectors sampled word-wide (Figure 8b, one
+ * lane per data wire): the delayed copies live in a packed WirePlane,
+ * so one cycle's toggles for the entire bus are the XOR of the
+ * sampled plane against the delayed plane. Behaviorally identical to
+ * one ToggleDetector per lane.
+ */
+class ToggleDetectorBank
+{
+  public:
+    explicit ToggleDetectorBank(unsigned lanes) : _prev(lanes) {}
+
+    /**
+     * Sample all lanes at once: @p toggles receives levels XOR
+     * delayed-copies, and the delayed copies become @p levels.
+     */
+    void
+    sample(const WirePlane &levels, WirePlane &toggles)
+    {
+        const unsigned n = _prev.numWords();
+        const std::uint64_t *in = levels.words();
+        std::uint64_t *prev = _prev.mutableWords();
+        std::uint64_t *out = toggles.mutableWords();
+        for (unsigned i = 0; i < n; i++) {
+            out[i] = in[i] ^ prev[i];
+            prev[i] = in[i];
+        }
+    }
+
+    /**
+     * Jump every delayed copy straight to @p levels, as if each
+     * intermediate cycle had been sampled (link fast path).
+     */
+    void prime(const WirePlane &levels) { _prev = levels; }
+
+    const WirePlane &delayed() const { return _prev; }
+
+    void reset() { _prev.clear(); }
+
+  private:
+    WirePlane _prev;
 };
 
 /**

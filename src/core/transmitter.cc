@@ -27,13 +27,22 @@ skipModeName(SkipMode mode)
 
 DescTransmitter::DescTransmitter(const DescConfig &cfg)
     : _cfg(cfg), _wires(cfg.activeWires()),
-      _data_tg(cfg.activeWires()),
-      _fifos(cfg.activeWires()),
       _last(cfg.activeWires(), 0),
       _adaptive(cfg.activeWires(), cfg.chunk_bits),
-      _countdown(cfg.activeWires(), 0)
+      _plane_words((cfg.activeWires() + 63) / 64),
+      _wave_open_cycle(cfg.numWaves(), 0),
+      _wave_window_of(cfg.numWaves(), 0),
+      _wave_skipped_of(cfg.numWaves(), 0),
+      _basic_cum(cfg.activeWires(), 0)
 {
     _cfg.validate();
+    // Upper bound on a block's cycles in either mode: the opening
+    // pulse plus numWaves chunks of at most maxValue()+1 cycles each
+    // on the slowest wire.
+    const unsigned max_cycles =
+        1 + _cfg.numWaves() * (_cfg.maxValue() + 1);
+    _sched_fire.resize(std::size_t{max_cycles} * _plane_words, 0);
+    _sched_reset.resize(max_cycles, 0);
 }
 
 std::uint8_t
@@ -52,76 +61,123 @@ DescTransmitter::skipValueFor(unsigned wire) const
     DESC_PANIC("skip value requested without value skipping");
 }
 
+std::uint64_t *
+DescTransmitter::planeAt(unsigned cycle)
+{
+    DESC_ASSERT(cycle >= 1 && cycle <= _sched_reset.size(),
+                "scheduled cycle outside the preallocated planes");
+    return &_sched_fire[std::size_t{cycle - 1} * _plane_words];
+}
+
+/**
+ * Basic (no-skip) schedule: the reset pulse occupies cycle 1, then
+ * each wire streams its chunks back to back — a chunk's strobe lands
+ * chunkCycles(v) cycles after the wire's previous strobe (or the
+ * pulse). The block ends with the slowest wire's last strobe.
+ */
+void
+DescTransmitter::scheduleBasic(const BitVec &block)
+{
+    const unsigned wires = _cfg.activeWires();
+    const unsigned chunk_bits = _cfg.chunk_bits;
+    const unsigned n = _cfg.numChunks();
+
+    _sched_reset[0] = 1;
+    std::fill(_basic_cum.begin(), _basic_cum.end(), 0u);
+
+    BitCursor cur(block);
+    unsigned wire = 0;
+    unsigned window = 0;
+    for (unsigned i = 0; i < n; i++) {
+        std::uint64_t v = cur.next(chunk_bits);
+        _basic_cum[wire] += chunkCycles(v, false, 0);
+        planeAt(1 + _basic_cum[wire])[wire / 64] ^=
+            std::uint64_t{1} << (wire % 64);
+        if (_basic_cum[wire] > window)
+            window = _basic_cum[wire];
+        _last[wire] = std::uint8_t(v);
+        if (++wire == wires)
+            wire = 0;
+    }
+    _sched_len = 1 + window;
+    _next_trace_wave = _cfg.numWaves(); // no wave-open trace events
+}
+
+/**
+ * Value-skipped schedule: waves of one chunk per wire, each opened by
+ * a (merged) reset/skip pulse; skipped chunks stay silent and the
+ * final wave closes with an extra pulse only if it skipped anything.
+ */
+void
+DescTransmitter::scheduleWaves(const BitVec &block)
+{
+    const unsigned wires = _cfg.activeWires();
+    const unsigned waves = _cfg.numWaves();
+    const unsigned chunk_bits = _cfg.chunk_bits;
+
+    _sched_reset[0] = 1; // opening pulse of wave 0 fires in cycle 1
+    BitCursor cur(block);
+    unsigned open = 1; // cycle of the current wave's opening pulse
+    for (unsigned g = 0; g < waves; g++) {
+        unsigned window = 0;
+        bool any_skipped = false;
+        for (unsigned w = 0; w < wires; w++) {
+            std::uint8_t v = std::uint8_t(cur.next(chunk_bits));
+            std::uint8_t s = skipValueFor(w);
+            if (v == s) {
+                any_skipped = true;
+            } else {
+                unsigned c = chunkCycles(v, true, s);
+                planeAt(open + c)[w / 64] ^= std::uint64_t{1} << (w % 64);
+                if (c > window)
+                    window = c;
+            }
+            _last[w] = v;
+            if (_cfg.skip == SkipMode::Adaptive)
+                _adaptive.update(w, v);
+        }
+        // An all-skipped wave still needs one cycle before the closing
+        // pulse can toggle the shared wire again.
+        if (window == 0)
+            window = 1;
+        _wave_open_cycle[g] = open;
+        _wave_window_of[g] = window;
+        _wave_skipped_of[g] = any_skipped;
+        open += window;
+        if (g + 1 < waves)
+            _sched_reset[open - 1] = 1; // merged close/open pulse
+        else if (any_skipped)
+            _sched_reset[open - 1] = 1; // final closing pulse
+    }
+    _sched_len = open; // == 1 + sum of windows
+    _next_trace_wave = 0;
+}
+
 void
 DescTransmitter::loadBlock(const BitVec &block)
 {
     DESC_ASSERT(!_busy, "loadBlock while a transfer is in flight");
     DESC_ASSERT(block.width() == _cfg.block_bits, "block width mismatch");
 
-    const unsigned wires = _cfg.activeWires();
-    const unsigned chunk_bits = _cfg.chunk_bits;
-    const unsigned n = block.width() / chunk_bits;
-    BitCursor cur(block);
-    unsigned wire = 0;
-    for (unsigned i = 0; i < n; i++) {
-        _fifos[wire].push(std::uint8_t(cur.next(chunk_bits)));
-        if (++wire == wires)
-            wire = 0;
-    }
-
-    DESC_TRACE_EVENT(Link, _ticks, "tx: block loaded: ", n,
-                     " chunks on ", wires, " wires, ",
+    DESC_TRACE_EVENT(Link, _ticks, "tx: block loaded: ", _cfg.numChunks(),
+                     " chunks on ", _cfg.activeWires(), " wires, ",
                      _cfg.numWaves(), " wave(s), ",
                      skipModeName(_cfg.skip));
 
+    // The fire planes are consumed by XOR, so clear the previously
+    // used region before staging the new block's strobes.
+    std::fill_n(_sched_fire.begin(),
+                std::size_t{_sched_len} * _plane_words, std::uint64_t{0});
+    std::fill_n(_sched_reset.begin(), _sched_len, std::uint8_t{0});
+    _sched_pos = 0;
+
+    if (_cfg.skip == SkipMode::None)
+        scheduleBasic(block);
+    else
+        scheduleWaves(block);
+    DESC_ASSERT(_sched_len <= _sched_reset.size(),
+                "block schedule overflows its preallocated planes");
     _busy = true;
-    if (_cfg.skip == SkipMode::None) {
-        _need_reset_pulse = true;
-        _wires_pending = wires;
-    } else {
-        _wave = 0;
-        _wave_tick = 0;
-        // The opening pulse of wave 0 fires on the first tick.
-        _wave_window = 0;
-        _wave_any_skipped = false;
-        _need_reset_pulse = true;
-    }
-}
-
-void
-DescTransmitter::openWave()
-{
-    // Fires the (merged) reset/skip pulse and schedules one chunk per
-    // wire for the new wave.
-    _reset_tg.fire();
-    _wave_tick = 0;
-    _wave_window = 0;
-    _wave_any_skipped = false;
-
-    unsigned wires = _cfg.activeWires();
-    for (unsigned w = 0; w < wires; w++) {
-        std::uint8_t v = _fifos[w].pop();
-        std::uint8_t s = skipValueFor(w);
-        if (v == s) {
-            _wave_any_skipped = true;
-            _countdown[w] = 0;
-        } else {
-            _countdown[w] = chunkCycles(v, true, s);
-            if (_countdown[w] > _wave_window)
-                _wave_window = _countdown[w];
-        }
-        _last[w] = v;
-        if (_cfg.skip == SkipMode::Adaptive)
-            _adaptive.update(w, v);
-    }
-    // An all-skipped wave still needs one cycle before the closing
-    // pulse can toggle the shared wire again.
-    if (_wave_window == 0)
-        _wave_window = 1;
-
-    DESC_TRACE_EVENT(Link, _ticks, "tx: wave ", _wave, " open, window ",
-                     _wave_window, " cycles",
-                     _wave_any_skipped ? ", has skipped chunks" : "");
 }
 
 void
@@ -168,7 +224,6 @@ DescTransmitter::fastForwardBlock(const BitVec &block, FastForwardPlan &plan)
         plan.result.data_flips = _cfg.numChunks();
         std::fill(plan.strobe_odd.begin(), plan.strobe_odd.end(),
                   std::uint8_t(waves & 1));
-        _wires_pending = 0;
     } else {
         // Waves of one chunk per wire; the pulse closing a wave is
         // merged with the next wave's opening pulse.
@@ -215,10 +270,6 @@ DescTransmitter::fastForwardBlock(const BitVec &block, FastForwardPlan &plan)
                 plan.final_any_skipped = any_skipped;
             }
         }
-        _wave = waves;
-        _wave_tick = plan.final_window;
-        _wave_window = plan.final_window;
-        _wave_any_skipped = plan.final_any_skipped;
     }
 
     plan.result.cycles = cycles;
@@ -232,13 +283,13 @@ DescTransmitter::fastForwardBlock(const BitVec &block, FastForwardPlan &plan)
     _ticks += cycles;
     _sync_tg.fastForward(cycles);
     _reset_tg.fastForward(plan.reset_flips);
+    std::uint64_t *lv = _wires.data.mutableWords();
     for (unsigned w = 0; w < wires; w++) {
-        _data_tg[w].fastForward(plan.strobe_odd[w]);
-        _wires.data[w] = _data_tg[w].level();
+        if (plan.strobe_odd[w])
+            lv[w / 64] ^= std::uint64_t{1} << (w % 64);
     }
     _wires.reset_skip = _reset_tg.level();
     _wires.sync = _sync_tg.level();
-    _need_reset_pulse = false;
 }
 
 void
@@ -252,81 +303,45 @@ DescTransmitter::tick()
     // transfer (half-frequency clock forwarding, Section 3.1).
     _sync_tg.fire();
 
-    unsigned wires = _cfg.activeWires();
-
-    if (_cfg.skip == SkipMode::None) {
-        if (_need_reset_pulse) {
-            _need_reset_pulse = false;
-            _reset_tg.fire();
-            for (unsigned w = 0; w < wires; w++)
-                _countdown[w] = chunkCycles(_fifos[w].front(), false, 0);
-        } else {
-            for (unsigned w = 0; w < wires; w++) {
-                if (_countdown[w] == 0)
-                    continue;
-                if (--_countdown[w] == 0) {
-                    _data_tg[w].fire();
-                    _last[w] = _fifos[w].pop();
-                    if (!_fifos[w].empty()) {
-                        _countdown[w] =
-                            chunkCycles(_fifos[w].front(), false, 0);
-                    } else {
-                        _wires_pending--;
-                    }
-                }
-            }
-            if (_wires_pending == 0)
-                _busy = false;
-        }
-    } else {
-        if (_need_reset_pulse) {
-            _need_reset_pulse = false;
-            openWave();
-        } else {
-            _wave_tick++;
-            for (unsigned w = 0; w < wires; w++) {
-                if (_countdown[w] != 0 && --_countdown[w] == 0)
-                    _data_tg[w].fire();
-            }
-            if (_wave_tick == _wave_window) {
-                _wave++;
-                if (_wave < _cfg.numWaves()) {
-                    // Merged close/open pulse (may be concurrent with
-                    // the last data strobe of the finished wave).
-                    openWave();
-                } else {
-                    if (_wave_any_skipped)
-                        _reset_tg.fire();
-                    _busy = false;
-                }
-            }
-        }
+    const unsigned i = ++_sched_pos; // 1-based cycle within the block
+    if (_next_trace_wave < _cfg.numWaves()
+        && i == _wave_open_cycle[_next_trace_wave]) {
+        DESC_TRACE_EVENT(Link, _ticks, "tx: wave ", _next_trace_wave,
+                         " open, window ",
+                         _wave_window_of[_next_trace_wave], " cycles",
+                         _wave_skipped_of[_next_trace_wave]
+                             ? ", has skipped chunks" : "");
+        _next_trace_wave++;
     }
 
-    // Drive the wires with the toggle-generator outputs.
-    for (unsigned w = 0; w < wires; w++)
-        _wires.data[w] = _data_tg[w].level();
+    // One cycle of the whole bus: XOR the precomputed fire plane into
+    // the level plane, then the two scalar control toggles.
+    const std::uint64_t *fire = planeAt(i);
+    std::uint64_t *lv = _wires.data.mutableWords();
+    for (unsigned k = 0; k < _plane_words; k++)
+        lv[k] ^= fire[k];
+    if (_sched_reset[i - 1])
+        _reset_tg.fire();
     _wires.reset_skip = _reset_tg.level();
     _wires.sync = _sync_tg.level();
+
+    if (i == _sched_len)
+        _busy = false;
 }
 
 void
 DescTransmitter::reset()
 {
-    for (auto &tg : _data_tg)
-        tg.reset();
     _reset_tg.reset();
     _sync_tg.reset();
-    for (auto &f : _fifos)
-        f.clear();
     std::fill(_last.begin(), _last.end(), 0);
-    std::fill(_countdown.begin(), _countdown.end(), 0);
     _wires.clear();
     _busy = false;
-    _need_reset_pulse = false;
-    _wires_pending = 0;
-    _wave = _wave_tick = _wave_window = 0;
-    _wave_any_skipped = false;
+    std::fill(_sched_fire.begin(), _sched_fire.end(), std::uint64_t{0});
+    std::fill(_sched_reset.begin(), _sched_reset.end(), std::uint8_t{0});
+    _sched_len = 0;
+    _sched_pos = 0;
+    _next_trace_wave = 0;
     _adaptive.reset();
 }
 

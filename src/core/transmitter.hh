@@ -2,15 +2,14 @@
  * @file
  * Cycle-accurate DESC transmitter (Sections 3.1, 3.2.1, 3.3).
  *
- * The transmitter enqueues a block's chunks into per-wire FIFOs and
- * signals each chunk by toggling its wire after chunkCycles(value)
- * cycles. Without value skipping, a single reset pulse opens the block
- * and the wires stream their queues back to back. With value skipping
- * the transfer proceeds in waves of one chunk per wire: a reset/skip
- * pulse opens each wave, chunks equal to the wire's skip value stay
- * silent, and the pulse that opens the next wave (or the final close
- * pulse) tells the receiver to substitute the skip value for every
- * silent wire.
+ * The transmitter signals each chunk by toggling its wire after
+ * chunkCycles(value) cycles. Without value skipping, a single reset
+ * pulse opens the block and the wires stream their chunks back to
+ * back. With value skipping the transfer proceeds in waves of one
+ * chunk per wire: a reset/skip pulse opens each wave, chunks equal to
+ * the wire's skip value stay silent, and the pulse that opens the
+ * next wave (or the final close pulse) tells the receiver to
+ * substitute the skip value for every silent wire.
  *
  * Timing convention: the opening pulse occupies one cycle; a chunk's
  * data strobe fires chunkCycles(v) cycles after the wave opens (or
@@ -18,6 +17,15 @@
  * pulse is merged with the next wave's opening pulse and may be
  * concurrent with the last data strobe of its wave (the receiver
  * processes data strobes first).
+ *
+ * The ticked engine is bit-plane SWAR (DESIGN.md §15): loadBlock()
+ * precomputes the whole block's toggle schedule as packed fire
+ * planes — the strobe pattern of a cycle is invisible to any
+ * observer until that cycle's wires() snapshot, so the schedule can
+ * be resolved up front — and tick() reduces to XORing one plane into
+ * the level plane plus two scalar control toggles. All schedule
+ * storage is sized at construction; the per-block path never
+ * allocates.
  */
 
 #ifndef DESC_CORE_TRANSMITTER_HH
@@ -29,7 +37,6 @@
 #include "core/config.hh"
 #include "core/adaptive.hh"
 #include "core/fastforward.hh"
-#include "core/fifo.hh"
 #include "core/toggle.hh"
 #include "core/wires.hh"
 
@@ -53,8 +60,8 @@ class DescTransmitter
      * Transmit @p block in closed form: fill @p plan with the transfer
      * outcome and leave the transmitter in exactly the state a
      * loadBlock() followed by ticks to completion would have produced
-     * (wire levels, last-value table, adaptive counters, wave
-     * bookkeeping, trace clock). @pre !busy(); never allocates.
+     * (wire levels, last-value table, adaptive counters, trace
+     * clock). @pre !busy(); never allocates.
      */
     void fastForwardBlock(const BitVec &block, FastForwardPlan &plan);
 
@@ -72,7 +79,9 @@ class DescTransmitter
 
   private:
     std::uint8_t skipValueFor(unsigned wire) const;
-    void openWave();
+    std::uint64_t *planeAt(unsigned cycle);
+    void scheduleBasic(const BitVec &block);
+    void scheduleWaves(const BitVec &block);
 
     DescConfig _cfg;
     WireBundle _wires;
@@ -80,28 +89,32 @@ class DescTransmitter
     /** Lifetime tick count (trace timestamps only). */
     std::uint64_t _ticks = 0;
 
-    std::vector<ToggleGenerator> _data_tg;
     ToggleGenerator _reset_tg;
     ToggleGenerator _sync_tg;
 
-    std::vector<Fifo<std::uint8_t>> _fifos;
     std::vector<std::uint8_t> _last;
     AdaptiveTracker _adaptive;
 
     bool _busy = false;
 
-    /** Per-wire cycles until the next data strobe (0 = idle). */
-    std::vector<unsigned> _countdown;
+    // Precomputed block schedule (ticked path). Cycle i of the block
+    // (1-based) XORs fire plane i-1 into the data levels; _sched_reset
+    // flags the cycles whose (merged) reset/skip pulse fires.
+    unsigned _plane_words;                  //!< words per fire plane
+    std::vector<std::uint64_t> _sched_fire; //!< flattened fire planes
+    std::vector<std::uint8_t> _sched_reset;
+    unsigned _sched_len = 0; //!< cycles in the scheduled block
+    unsigned _sched_pos = 0; //!< cycles already ticked
 
-    // Basic (no-skip) mode.
-    bool _need_reset_pulse = false;
-    unsigned _wires_pending = 0;
+    // Wave-open trace metadata: wave g's merged pulse fires in block
+    // cycle _wave_open_cycle[g] with the recorded window (skip modes).
+    std::vector<unsigned> _wave_open_cycle;
+    std::vector<unsigned> _wave_window_of;
+    std::vector<std::uint8_t> _wave_skipped_of;
+    unsigned _next_trace_wave = 0;
 
-    // Wave machine (skip modes).
-    unsigned _wave = 0;
-    unsigned _wave_tick = 0;
-    unsigned _wave_window = 0;
-    bool _wave_any_skipped = false;
+    /** Per-wire running strobe time (basic-mode scheduling scratch). */
+    std::vector<unsigned> _basic_cum;
 };
 
 } // namespace desc::core

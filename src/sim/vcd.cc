@@ -1,5 +1,8 @@
 #include "sim/vcd.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/contract.hh"
 #include "common/log.hh"
 
@@ -62,6 +65,8 @@ VcdWriter::addBundle(const std::string &scope, unsigned wires)
         sigs.data.push_back(
             addSignal(scope, detail::concat("data", w)));
     sigs.sync = addSignal(scope, "sync");
+    sigs.shadow = unsigned(_shadows.size());
+    _shadows.push_back({core::WirePlane(wires), false});
     return sigs;
 }
 
@@ -94,8 +99,16 @@ void
 VcdWriter::set(unsigned sig, bool v)
 {
     DESC_ASSERT(sig < _signals.size(), "bad VCD signal index ", sig);
-    _signals[sig].staged = true;
-    _signals[sig].level = v;
+    Signal &s = _signals[sig];
+    if (s.staged) { // latest set before a timestep wins
+        s.level = v;
+        return;
+    }
+    if (s.dumped && v == s.last_emitted)
+        return; // no change to emit — stage nothing
+    s.staged = true;
+    s.level = v;
+    _dirty.push_back(sig);
 }
 
 void
@@ -103,9 +116,27 @@ VcdWriter::setBundle(const BundleSignals &sigs, const core::WireBundle &w)
 {
     DESC_ASSERT(w.data.size() == sigs.data.size(),
                 "bundle width mismatch");
+    DESC_ASSERT(sigs.shadow < _shadows.size(), "foreign BundleSignals");
     set(sigs.reset_skip, w.reset_skip);
-    for (unsigned i = 0; i < sigs.data.size(); i++)
-        set(sigs.data[i], w.data[i]);
+    BundleShadow &sh = _shadows[sigs.shadow];
+    if (!sh.primed) {
+        // First sample: every wire must appear in the $dumpvars block.
+        for (unsigned i = 0; i < sigs.data.size(); i++)
+            set(sigs.data[i], w.data[i]);
+        sh.primed = true;
+    } else {
+        // Steady state: stage only the wires that toggled since the
+        // previous sample (word-wide plane diff).
+        for (unsigned k = 0; k < w.data.numWords(); k++) {
+            std::uint64_t diff = w.data.word(k) ^ sh.plane.word(k);
+            while (diff) {
+                unsigned b = k * 64 + unsigned(std::countr_zero(diff));
+                diff &= diff - 1;
+                set(sigs.data[b], w.data[b]);
+            }
+        }
+    }
+    sh.plane = w.data;
     set(sigs.sync, w.sync);
 }
 
@@ -118,10 +149,12 @@ VcdWriter::timestep(std::uint64_t t)
                 "VCD times must be strictly increasing: ", t,
                 " after ", _last_time);
 
+    // Emission order is declaration order, as the full-scan loop
+    // produced before the dirty list existed.
+    std::sort(_dirty.begin(), _dirty.end());
     bool stamped = false;
-    for (auto &s : _signals) {
-        if (!s.staged)
-            continue;
+    for (unsigned idx : _dirty) {
+        Signal &s = _signals[idx];
         s.staged = false;
         if (s.dumped && s.level == s.last_emitted)
             continue;
@@ -135,6 +168,7 @@ VcdWriter::timestep(std::uint64_t t)
         s.last_emitted = s.level;
         s.dumped = true;
     }
+    _dirty.clear();
     if (stamped && !_any_time) {
         std::fprintf(_out, "$end\n");
         _any_time = true;

@@ -67,6 +67,7 @@ class VcdWriter
         unsigned reset_skip = 0;
         std::vector<unsigned> data;
         unsigned sync = 0;
+        unsigned shadow = 0; //!< writer-owned plane-diff state index
     };
 
     /** Declare reset_skip, data[0..wires), sync under @p scope. */
@@ -75,10 +76,20 @@ class VcdWriter
     /** Finish the declaration section ($enddefinitions). */
     void endHeader();
 
-    /** Stage signal @p sig at level @p v for the next timestep(). */
+    /**
+     * Stage signal @p sig at level @p v for the next timestep().
+     * Staging a level equal to the last emitted one is a no-op, so
+     * repeated same-level sets cost O(1) and stage nothing.
+     */
     void set(unsigned sig, bool v);
 
-    /** Stage a whole wire bundle (set() on each of its signals). */
+    /**
+     * Stage a whole wire bundle. The data wires are diffed word-wide
+     * against a writer-owned shadow of the previous sample, so only
+     * wires that actually toggled are staged — the per-cycle cost is
+     * proportional to the changes, not the bus width. Output is
+     * byte-identical to calling set() on every signal.
+     */
     void setBundle(const BundleSignals &sigs,
                    const core::WireBundle &w);
 
@@ -108,12 +119,21 @@ class VcdWriter
         bool dumped = false;       //!< written at least once
     };
 
+    /** Previous sampled data plane of one bundle (diff reference). */
+    struct BundleShadow
+    {
+        core::WirePlane plane;
+        bool primed = false; //!< false until the first sample
+    };
+
     std::FILE *_out = nullptr;
     std::string _path;
     bool _header_done = false;
     bool _any_time = false;
     std::uint64_t _last_time = 0;
     std::vector<Signal> _signals;
+    std::vector<BundleShadow> _shadows;
+    std::vector<unsigned> _dirty; //!< staged signal indices
 };
 
 } // namespace desc::sim

@@ -268,3 +268,72 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(SkipMode::None, SkipMode::Zero,
                           SkipMode::LastValue, SkipMode::Adaptive)),
     paramName);
+
+TEST(TickedFastDrift, NoDriftOver240AdaptiveBlocks)
+{
+    // Long-horizon drift probe for the bit-plane ticked engine: a
+    // Ticked link and a Fast link consume the same 240-block stream
+    // with adaptive trackers live (the skip value of every wave
+    // depends on the whole history), and every reported statistic,
+    // every recovered block, and all persistent state must stay
+    // bit-identical the entire way — one silently mismatched chunk
+    // would compound for the rest of the stream.
+    DescConfig cfg;
+    cfg.bus_wires = 64;
+    cfg.chunk_bits = 4;
+    cfg.block_bits = kBlockBits;
+    cfg.skip = SkipMode::Adaptive;
+
+    DescLink ticked(cfg);
+    ticked.setMode(LinkMode::Ticked);
+    DescLink fast(cfg);
+    fast.setMode(LinkMode::Fast);
+
+    Rng rng(0xd21f7);
+    struct Dist
+    {
+        double zero_p;
+        double repeat_p;
+    };
+    const Dist dists[] = {{0.0, 0.0}, {0.7, 0.1}, {0.1, 0.7}, {0.4, 0.4}};
+
+    BitVec prev(kBlockBits);
+    int n = 0;
+    for (const Dist &d : dists) {
+        for (int i = 0; i < 60; i++, n++) {
+            BitVec block =
+                biasedBlock(rng, prev, cfg.chunk_bits, d.zero_p, d.repeat_p);
+            prev = block;
+
+            BitVec recv_t, recv_f;
+            auto rt = ticked.transferBlock(block, &recv_t);
+            auto rf = fast.transferBlock(block, &recv_f);
+            ASSERT_FALSE(ticked.usedFastPath());
+            ASSERT_TRUE(fast.usedFastPath());
+
+            ASSERT_EQ(recv_t, block) << "ticked corruption at block " << n;
+            ASSERT_EQ(recv_f, block) << "fast corruption at block " << n;
+            ASSERT_EQ(rt.cycles, rf.cycles) << "block " << n;
+            ASSERT_EQ(rt.data_flips, rf.data_flips) << "block " << n;
+            ASSERT_EQ(rt.control_flips, rf.control_flips) << "block " << n;
+            ASSERT_EQ(rt.skipped, rf.skipped) << "block " << n;
+
+            // All state either engine can carry into the next block.
+            ASSERT_EQ(ticked.tx().wires().data, fast.tx().wires().data)
+                << "block " << n;
+            ASSERT_EQ(ticked.tx().wires().reset_skip,
+                      fast.tx().wires().reset_skip) << "block " << n;
+            ASSERT_EQ(ticked.tx().wires().sync, fast.tx().wires().sync)
+                << "block " << n;
+            ASSERT_EQ(ticked.tx().lastValues(), fast.tx().lastValues())
+                << "block " << n;
+            ASSERT_EQ(ticked.rx().lastValues(), fast.rx().lastValues())
+                << "block " << n;
+            ASSERT_TRUE(ticked.tx().adaptive() == fast.tx().adaptive())
+                << "tx adaptive drift at block " << n;
+            ASSERT_TRUE(ticked.rx().adaptive() == fast.rx().adaptive())
+                << "rx adaptive drift at block " << n;
+        }
+    }
+    EXPECT_EQ(n, 240);
+}

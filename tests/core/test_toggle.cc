@@ -1,12 +1,18 @@
 /**
  * @file
- * Unit tests for the toggle generator/detector/regenerator circuits.
+ * Unit tests for the toggle generator/detector/regenerator circuits
+ * and their word-wide bank counterparts (DESIGN.md §15): a bank must
+ * behave exactly like one scalar circuit per lane.
  */
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/rng.hh"
 #include "core/toggle.hh"
 
+using desc::Rng;
 using namespace desc::core;
 
 TEST(ToggleGenerator, AlternatesLevels)
@@ -49,6 +55,84 @@ TEST(ToggleDetector, GeneratorDetectorPairRoundTrips)
             detected++;
     }
     EXPECT_EQ(detected, 4); // fires at i = 0, 3, 6, 9
+}
+
+TEST(ToggleGeneratorBank, MatchesScalarLanes)
+{
+    // 130 lanes spans three plane words including a partial tail.
+    const unsigned lanes = 130;
+    ToggleGeneratorBank bank(lanes);
+    std::vector<ToggleGenerator> scalar(lanes);
+    Rng rng(0x76b1);
+    WirePlane mask(lanes);
+    for (int round = 0; round < 200; round++) {
+        mask.clear();
+        for (unsigned i = 0; i < lanes; i++) {
+            if (rng.chance(0.3)) {
+                mask[i] = true;
+                scalar[i].fire();
+            }
+        }
+        bank.fire(mask);
+        for (unsigned i = 0; i < lanes; i++)
+            ASSERT_EQ(bank.level(i), scalar[i].level())
+                << "lane " << i << " round " << round;
+    }
+    bank.reset();
+    for (unsigned i = 0; i < lanes; i++)
+        EXPECT_FALSE(bank.level(i));
+}
+
+TEST(ToggleGeneratorBank, FastForwardAppliesStrobeParity)
+{
+    const unsigned lanes = 70;
+    ToggleGeneratorBank bank(lanes);
+    std::vector<ToggleGenerator> scalar(lanes);
+    WirePlane odd(lanes);
+    for (unsigned i = 0; i < lanes; i++) {
+        std::uint64_t fires = (i * 7 + 3) % 5;
+        scalar[i].fastForward(fires);
+        odd[i] = (fires & 1) != 0;
+    }
+    bank.fastForward(odd);
+    for (unsigned i = 0; i < lanes; i++)
+        EXPECT_EQ(bank.level(i), scalar[i].level()) << "lane " << i;
+}
+
+TEST(ToggleDetectorBank, MatchesScalarLanes)
+{
+    const unsigned lanes = 130;
+    ToggleDetectorBank bank(lanes);
+    std::vector<ToggleDetector> scalar(lanes);
+    Rng rng(0xde7ec);
+    WirePlane levels(lanes);
+    WirePlane toggles(lanes);
+    for (int round = 0; round < 200; round++) {
+        for (unsigned i = 0; i < lanes; i++) {
+            if (rng.chance(0.4))
+                levels[i] = !levels[i];
+        }
+        bank.sample(levels, toggles);
+        for (unsigned i = 0; i < lanes; i++)
+            ASSERT_EQ(bool(toggles[i]), scalar[i].sample(levels[i]))
+                << "lane " << i << " round " << round;
+    }
+}
+
+TEST(ToggleDetectorBank, PrimeJumpsDelayedCopies)
+{
+    const unsigned lanes = 65;
+    ToggleDetectorBank bank(lanes);
+    WirePlane levels(lanes);
+    levels[0] = true;
+    levels[64] = true;
+    bank.prime(levels);
+    EXPECT_EQ(bank.delayed(), levels);
+    // A sample at the primed levels reports no toggles at all.
+    WirePlane toggles(lanes);
+    bank.sample(levels, toggles);
+    WirePlane none(lanes);
+    EXPECT_EQ(toggles, none);
 }
 
 TEST(ToggleRegenerator, ForwardsSelectedBranchOnly)

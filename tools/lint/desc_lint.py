@@ -64,6 +64,11 @@ HOT_PATH_FILES = [
     "src/core/linkscheme.cc",
     "src/core/transmitter.cc",
     "src/core/receiver.cc",
+    # The bit-plane ticked engine (DESIGN.md §15): wire planes and the
+    # word-wide toggle banks run once per simulated link cycle; every
+    # plane buffer is sized at construction or loadBlock.
+    "src/core/wires.hh",
+    "src/core/toggle.hh",
     # The batched encoder passes (word-at-a-time SWAR loops).
     "src/encoding/swar.hh",
     "src/encoding/scheme.cc",
@@ -468,6 +473,7 @@ FIXTURE_EXPECT = {
         "hot-path-alloc", "include-guard", "contract-include"},
     "fixtures/bad/fastpath.cc": {"hot-path-alloc"},
     "fixtures/bad/batched.cc": {"hot-path-alloc"},
+    "fixtures/bad/planes.cc": {"hot-path-alloc"},
     "fixtures/bad/stats_use.cc": {"stat-description"},
     "fixtures/bad/tracing.cc": {"trace-channel"},
     "fixtures/bad/profiling.cc": {"prof-component"},

@@ -1,0 +1,31 @@
+// desc-lint fixture: deliberate violation.
+// Expected findings: hot-path-alloc (a per-cycle plane scratch buffer
+// allocated with new[] instead of living in storage owned by the
+// engine, as the bit-plane ticked engine requires).
+// Never compiled; exercised only by desc_lint.py --self-test.
+
+#include <cstdint>
+
+struct PlaneScratch
+{
+    std::uint64_t *words;
+    unsigned count;
+};
+
+inline PlaneScratch
+makeScratch(unsigned wires)
+{
+    // Every tick of the ticked engine would hit the allocator: the
+    // scratch plane must be a member sized at construction instead.
+    PlaneScratch s;
+    s.count = (wires + 63) / 64;
+    s.words = new std::uint64_t[s.count];
+    return s;
+}
+
+inline void
+dropScratch(PlaneScratch &s)
+{
+    delete[] s.words;
+    s.words = nullptr;
+}
